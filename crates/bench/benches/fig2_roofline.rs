@@ -1,0 +1,25 @@
+//! Bench target for Figure 2 — roofline placement of the four workloads.
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use gpu_spec::Precision;
+use science_kernels::stencil7::{self, StencilConfig};
+use vendor_models::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    // The roofline points come from cost-model evaluations; measure one.
+    group.bench_function("stencil_cost_and_timing", |b| {
+        let platform = Platform::cuda_h100(false);
+        let config = StencilConfig::paper(512, Precision::Fp64);
+        b.iter(|| stencil7::run(&platform, &config).unwrap().seconds())
+    });
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Fig2);
+    let mut criterion = Criterion::default().sample_size(20).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

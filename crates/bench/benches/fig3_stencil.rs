@@ -1,0 +1,29 @@
+//! Bench target for Figure 3 — seven-point stencil bandwidth, Mojo vs
+//! CUDA (H100) and Mojo vs HIP (MI300A).
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use gpu_spec::Precision;
+use science_kernels::stencil7::{self, StencilConfig};
+use vendor_models::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_stencil");
+    // Functional execution of the portable stencil on a reduced grid: the
+    // simulated-kernel work `cargo bench` actually measures on the host.
+    for l in [64usize, 96, 128] {
+        group.bench_function(format!("portable_laplacian_L{l}"), |b| {
+            let platform = Platform::portable_h100();
+            let config = StencilConfig::validation(l, Precision::Fp64);
+            b.iter(|| stencil7::run(&platform, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Fig3);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

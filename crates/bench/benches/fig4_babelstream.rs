@@ -1,0 +1,28 @@
+//! Bench target for Figure 4 — BabelStream bandwidth on both devices.
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use gpu_spec::Precision;
+use science_kernels::babelstream::{self, BabelStreamConfig};
+use vendor_models::kernel_class::StreamOp;
+use vendor_models::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_babelstream");
+    // Functional execution of each portable kernel at 2^20 elements.
+    let config = BabelStreamConfig::validation(1 << 20, Precision::Fp64);
+    for op in StreamOp::ALL {
+        group.bench_function(format!("portable_{}", op.label()), |b| {
+            let platform = Platform::portable_mi300a();
+            b.iter(|| babelstream::run(&platform, op, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Fig4);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

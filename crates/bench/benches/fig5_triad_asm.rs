@@ -1,0 +1,20 @@
+//! Bench target for Figure 5 — Triad generated-code (instruction-mix) diff.
+
+use criterion::Criterion;
+use experiment_report::experiments::fig5;
+use experiment_report::ExperimentId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("instruction_mix_comparison", |b| {
+        b.iter(fig5::comparison)
+    });
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Fig5);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

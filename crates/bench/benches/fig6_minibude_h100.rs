@@ -1,0 +1,26 @@
+//! Bench target for Figure 6 — miniBUDE GFLOP/s vs PPWI on the H100.
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use science_kernels::minibude::{self, MiniBudeConfig};
+use vendor_models::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_minibude");
+    // Functional execution of the portable fasten kernel on a reduced deck.
+    for ppwi in [1u32, 4, 16] {
+        group.bench_function(format!("portable_fasten_ppwi{ppwi}"), |b| {
+            let platform = Platform::portable_h100();
+            let config = MiniBudeConfig::validation(ppwi, 64);
+            b.iter(|| minibude::run(&platform, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Fig6);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

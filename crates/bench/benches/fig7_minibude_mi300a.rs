@@ -1,0 +1,26 @@
+//! Bench target for Figure 7 — miniBUDE GFLOP/s vs PPWI on the MI300A.
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use science_kernels::minibude::{self, MiniBudeConfig};
+use vendor_models::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_minibude");
+    // The HIP-style baseline's functional execution path.
+    for wg in [8u32, 64] {
+        group.bench_function(format!("hip_fasten_wg{wg}"), |b| {
+            let platform = Platform::hip_mi300a(true);
+            let config = MiniBudeConfig::validation(4, wg);
+            b.iter(|| minibude::run(&platform, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Fig7);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,26 @@
+//! Bench target for Table 1 — GPU hardware used in the study.
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use gpu_spec::{presets, Precision};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("roofline_queries", |b| {
+        let specs = presets::all_presets();
+        b.iter(|| {
+            specs
+                .iter()
+                .map(|s| s.ridge_point(Precision::Fp64) + s.roofline_flops(0.62, Precision::Fp64))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Table1);
+    let mut criterion = Criterion::default().sample_size(20).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

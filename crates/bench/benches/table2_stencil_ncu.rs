@@ -1,0 +1,27 @@
+//! Bench target for Table 2 — stencil NCU profiling metrics.
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use gpu_sim::ProfileReport;
+use gpu_spec::{presets, Precision};
+use science_kernels::stencil7::{self, StencilConfig};
+use vendor_models::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("derive_profile_report", |b| {
+        let spec = presets::h100_nvl();
+        let platform = Platform::portable_h100();
+        let config = StencilConfig::paper(512, Precision::Fp64);
+        let run = stencil7::run(&platform, &config).unwrap();
+        b.iter(|| ProfileReport::derive(&spec, &run.cost, &run.profile, &run.timing))
+    });
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Table2);
+    let mut criterion = Criterion::default().sample_size(20).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

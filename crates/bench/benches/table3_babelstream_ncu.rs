@@ -1,0 +1,32 @@
+//! Bench target for Table 3 — BabelStream NCU profiling metrics.
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use gpu_spec::Precision;
+use science_kernels::babelstream::{self, BabelStreamConfig};
+use vendor_models::kernel_class::StreamOp;
+use vendor_models::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    // The Dot reduction is the kernel Table 3 singles out; measure its
+    // cooperative (shared-memory + barrier) execution path.
+    group.bench_function("portable_dot_reduction", |b| {
+        let platform = Platform::portable_h100();
+        let config = BabelStreamConfig::validation(1 << 20, Precision::Fp64);
+        b.iter(|| babelstream::run(&platform, StreamOp::Dot, &config).unwrap())
+    });
+    group.bench_function("vendor_dot_reduction", |b| {
+        let platform = Platform::cuda_h100(false);
+        let config = BabelStreamConfig::validation(1 << 20, Precision::Fp64);
+        b.iter(|| babelstream::run(&platform, StreamOp::Dot, &config).unwrap())
+    });
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Table3);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

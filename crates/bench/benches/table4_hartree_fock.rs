@@ -1,0 +1,30 @@
+//! Bench target for Table 4 — Hartree–Fock kernel wall-clock times.
+
+use criterion::Criterion;
+use experiment_report::ExperimentId;
+use science_kernels::hartree_fock::{self, HartreeFockConfig, HeliumSystem};
+use vendor_models::Platform;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_hartree_fock");
+    // Functional Fock build (atomics included) on a small helium lattice.
+    group.bench_function("portable_fock_build_24_atoms", |b| {
+        let platform = Platform::portable_h100();
+        let config = HartreeFockConfig::validation(24);
+        b.iter(|| hartree_fock::run(&platform, &config).unwrap())
+    });
+    // The screening count that makes the 1024-atom cost model instantaneous.
+    group.bench_function("schwarz_survivor_count_1024_atoms", |b| {
+        let config = HartreeFockConfig::paper(1024, 6);
+        let system = HeliumSystem::generate(&config);
+        b.iter(|| hartree_fock::surviving_quartets(&system.schwarz, config.screening_tol))
+    });
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Table4);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,26 @@
+//! Bench target for Table 5 — the performance-portability metric Φ.
+
+use criterion::Criterion;
+use experiment_report::experiments::table5;
+use experiment_report::ExperimentId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("phi_over_all_applications", |b| {
+        b.iter(|| {
+            table5::portability_tables()
+                .iter()
+                .filter_map(|t| t.phi())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    bench::reproduce(ExperimentId::Table5);
+    let mut criterion = Criterion::default().sample_size(10).configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,34 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every bench target regenerates one paper table or figure (printing the
+//! same rows/series the paper reports and exporting CSV under
+//! `target/experiments/`), then runs a small Criterion measurement of the
+//! underlying simulated-kernel driver so `cargo bench` also reports how long
+//! the reproduction itself takes.
+
+use experiment_report::{run_experiment, ExperimentId};
+
+/// Regenerates one experiment, prints it, and writes its CSV files.
+pub fn reproduce(id: ExperimentId) {
+    let report = run_experiment(id);
+    println!("{}", report.render());
+    match report.write_csv_files() {
+        Ok(paths) => {
+            for path in paths {
+                println!("  [csv] {}", path.display());
+            }
+        }
+        Err(err) => eprintln!("  failed to write CSV for {}: {err}", report.id),
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduce_prints_without_panicking() {
+        reproduce(ExperimentId::Table1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Cooperative (shared-memory + barrier) kernel execution.
+//!
+//! The BabelStream `dot` kernel (paper Listing 3) is the one kernel in the
+//! study that uses block-level shared memory and `barrier()`: each thread
+//! accumulates a grid-strided partial product into a shared array, then the
+//! block performs a tree reduction with a barrier between halving steps.
+//!
+//! The simulator realises barrier semantics with a *bulk-synchronous phase
+//! engine*: a cooperative kernel is expressed as a sequence of phases, where a
+//! `barrier()` in GPU code corresponds to a phase boundary here. Within one
+//! phase the engine runs every thread of the block to completion (sequentially
+//! — which is a legal interleaving for any data-race-free kernel); between
+//! phases all threads of the block are synchronised, which is exactly what the
+//! barrier guarantees. Thread-private state that must survive across barriers
+//! lives in the kernel's `ThreadState` associated type, playing the role of
+//! registers.
+
+use crate::dim::{Dim3, LaunchConfig};
+use crate::exec::ThreadCtx;
+use rayon::prelude::*;
+
+/// What a thread wants to do after finishing a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseOutcome {
+    /// The thread has more work after the next barrier.
+    Continue,
+    /// The thread has finished the kernel.
+    Done,
+}
+
+/// A kernel that uses block shared memory and barriers.
+///
+/// `phase(p, ...)` is called for every thread of a block with `p = 0, 1, 2, …`
+/// until *all* threads of the block have returned [`PhaseOutcome::Done`].
+/// Each phase boundary corresponds to a `barrier()` in the CUDA/HIP/Mojo
+/// source. Threads that are already done are not called again.
+pub trait CoopKernel: Sync {
+    /// Element type of the block's shared-memory scratch array.
+    type Shared: Copy + Default + Send + Sync;
+    /// Thread-private state that persists across phases ("registers").
+    type ThreadState: Default + Send;
+
+    /// Length (in elements) of the shared array each block allocates.
+    fn shared_len(&self, block_dim: Dim3) -> usize;
+
+    /// Executes one phase for one thread.
+    fn phase(
+        &self,
+        phase: usize,
+        ctx: ThreadCtx,
+        state: &mut Self::ThreadState,
+        shared: &mut [Self::Shared],
+    ) -> PhaseOutcome;
+}
+
+/// Launches cooperative kernels on the simulator.
+pub struct CoopLaunch;
+
+/// Safety valve: a cooperative kernel that never converges is a bug; the
+/// engine aborts after this many phases.
+const MAX_PHASES: usize = 1_000_000;
+
+impl CoopLaunch {
+    /// Runs `kernel` over the launch configuration. Blocks execute in
+    /// parallel; threads within a block follow the bulk-synchronous schedule
+    /// described in the module documentation.
+    pub fn run<K: CoopKernel>(cfg: &LaunchConfig, kernel: &K) {
+        let grid = cfg.grid;
+        let block = cfg.block;
+        let threads_per_block = cfg.threads_per_block() as usize;
+
+        (0..cfg.num_blocks()).into_par_iter().for_each(|block_linear| {
+            let (bx, by, bz) = grid.delinearize(block_linear);
+            let block_idx = Dim3::new(bx, by, bz);
+
+            let mut shared = vec![K::Shared::default(); kernel.shared_len(block)];
+            let mut states: Vec<K::ThreadState> = (0..threads_per_block)
+                .map(|_| K::ThreadState::default())
+                .collect();
+            let mut done = vec![false; threads_per_block];
+            let mut remaining = threads_per_block;
+
+            let mut phase = 0usize;
+            while remaining > 0 {
+                assert!(
+                    phase < MAX_PHASES,
+                    "cooperative kernel did not converge within {MAX_PHASES} phases"
+                );
+                for thread_linear in 0..threads_per_block {
+                    if done[thread_linear] {
+                        continue;
+                    }
+                    let (tx, ty, tz) = block.delinearize(thread_linear as u64);
+                    let ctx = ThreadCtx {
+                        thread_idx: Dim3::new(tx, ty, tz),
+                        block_idx,
+                        block_dim: block,
+                        grid_dim: grid,
+                    };
+                    let outcome =
+                        kernel.phase(phase, ctx, &mut states[thread_linear], &mut shared);
+                    if outcome == PhaseOutcome::Done {
+                        done[thread_linear] = true;
+                        remaining -= 1;
+                    }
+                }
+                phase += 1;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::UnsafeSlice;
+
+    /// A block-wide tree reduction over per-thread values, structured exactly
+    /// like the BabelStream dot kernel: phase 0 loads, later phases halve.
+    struct BlockSumKernel<'a> {
+        input: &'a [f64],
+        output: UnsafeSlice<'a, f64>,
+    }
+
+    #[derive(Default)]
+    struct SumState;
+
+    impl CoopKernel for BlockSumKernel<'_> {
+        type Shared = f64;
+        type ThreadState = SumState;
+
+        fn shared_len(&self, block_dim: Dim3) -> usize {
+            block_dim.total() as usize
+        }
+
+        fn phase(
+            &self,
+            phase: usize,
+            ctx: ThreadCtx,
+            _state: &mut SumState,
+            shared: &mut [f64],
+        ) -> PhaseOutcome {
+            let tid = ctx.thread_idx.x as usize;
+            let bs = ctx.block_dim.x as usize;
+            if phase == 0 {
+                let gid = ctx.global_x() as usize;
+                shared[tid] = if gid < self.input.len() {
+                    self.input[gid]
+                } else {
+                    0.0
+                };
+                return PhaseOutcome::Continue;
+            }
+            // Reduction phase p halves the active range: offset = bs >> p.
+            let offset = bs >> phase;
+            if offset == 0 {
+                if tid == 0 {
+                    self.output.write(ctx.block_idx.x as usize, shared[0]);
+                }
+                return PhaseOutcome::Done;
+            }
+            if tid < offset {
+                shared[tid] += shared[tid + offset];
+            }
+            PhaseOutcome::Continue
+        }
+    }
+
+    #[test]
+    fn block_tree_reduction_matches_sequential_sum() {
+        let n = 4096usize;
+        let block_size = 256u32;
+        let input: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.5).collect();
+        let cfg = LaunchConfig::cover_1d(n as u64, block_size);
+        let mut partials = vec![0.0f64; cfg.num_blocks() as usize];
+        {
+            let kernel = BlockSumKernel {
+                input: &input,
+                output: UnsafeSlice::new(&mut partials),
+            };
+            CoopLaunch::run(&cfg, &kernel);
+        }
+        let total: f64 = partials.iter().sum();
+        let expected: f64 = input.iter().sum();
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn works_with_non_power_of_two_input() {
+        let n = 1000usize;
+        let block_size = 128u32;
+        let input: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let cfg = LaunchConfig::cover_1d(n as u64, block_size);
+        let mut partials = vec![0.0f64; cfg.num_blocks() as usize];
+        {
+            let kernel = BlockSumKernel {
+                input: &input,
+                output: UnsafeSlice::new(&mut partials),
+            };
+            CoopLaunch::run(&cfg, &kernel);
+        }
+        let total: f64 = partials.iter().sum();
+        let expected = (n * (n - 1) / 2) as f64;
+        assert!((total - expected).abs() < 1e-6);
+    }
+
+    /// A kernel where different threads finish in different phases, checking
+    /// the engine's per-thread completion tracking.
+    struct StaggeredKernel<'a> {
+        output: UnsafeSlice<'a, u32>,
+    }
+
+    #[derive(Default)]
+    struct StagState {
+        count: u32,
+    }
+
+    impl CoopKernel for StaggeredKernel<'_> {
+        type Shared = u32;
+        type ThreadState = StagState;
+
+        fn shared_len(&self, _block_dim: Dim3) -> usize {
+            1
+        }
+
+        fn phase(
+            &self,
+            _phase: usize,
+            ctx: ThreadCtx,
+            state: &mut StagState,
+            _shared: &mut [u32],
+        ) -> PhaseOutcome {
+            state.count += 1;
+            // Thread t finishes after t+1 phases.
+            if state.count > ctx.thread_idx.x {
+                self.output
+                    .write(ctx.global_x() as usize, state.count);
+                PhaseOutcome::Done
+            } else {
+                PhaseOutcome::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn threads_can_finish_in_different_phases() {
+        let cfg = LaunchConfig::new(2u32, 8u32);
+        let mut out = vec![0u32; cfg.total_threads() as usize];
+        {
+            let kernel = StaggeredKernel {
+                output: UnsafeSlice::new(&mut out),
+            };
+            CoopLaunch::run(&cfg, &kernel);
+        }
+        for block in 0..2usize {
+            for t in 0..8usize {
+                assert_eq!(out[block * 8 + t], t as u32 + 1);
+            }
+        }
+    }
+}

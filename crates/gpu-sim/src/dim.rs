@@ -1,0 +1,218 @@
+//! Grid/block dimensions and validated launch configurations.
+//!
+//! Mirrors the CUDA/HIP `dim3` convention the paper's kernels use: a launch is
+//! a 3-D grid of 3-D thread blocks. The seven-point stencil launches a 3-D
+//! grid; BabelStream, miniBUDE and Hartree–Fock launch 1-D grids.
+
+use crate::error::{SimError, SimResult};
+use gpu_spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A three-component extent, used for both grids (in blocks) and blocks
+/// (in threads). Components default to 1 as in CUDA's `dim3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    /// Extent along x (fastest-varying).
+    pub x: u32,
+    /// Extent along y.
+    pub y: u32,
+    /// Extent along z (slowest-varying).
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1-D extent `(x, 1, 1)`.
+    pub const fn new_1d(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D extent `(x, y, 1)`.
+    pub const fn new_2d(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// A full 3-D extent.
+    pub const fn new(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// Total number of elements covered by this extent.
+    pub const fn total(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Converts a linear index (x fastest) into `(x, y, z)` coordinates.
+    pub fn delinearize(&self, linear: u64) -> (u32, u32, u32) {
+        let x = (linear % self.x as u64) as u32;
+        let y = ((linear / self.x as u64) % self.y as u64) as u32;
+        let z = (linear / (self.x as u64 * self.y as u64)) as u32;
+        (x, y, z)
+    }
+
+    /// Converts `(x, y, z)` coordinates into a linear index (x fastest).
+    pub fn linearize(&self, x: u32, y: u32, z: u32) -> u64 {
+        x as u64 + self.x as u64 * (y as u64 + self.y as u64 * z as u64)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::new_1d(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::new_2d(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::new(x, y, z)
+    }
+}
+
+/// A validated kernel launch configuration: grid extent (in blocks) and block
+/// extent (in threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Grid dimensions, in blocks.
+    pub grid: Dim3,
+    /// Block dimensions, in threads.
+    pub block: Dim3,
+}
+
+impl LaunchConfig {
+    /// Builds a launch configuration without validating against a device.
+    pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> Self {
+        LaunchConfig {
+            grid: grid.into(),
+            block: block.into(),
+        }
+    }
+
+    /// Builds a 1-D launch that covers at least `n` work items with blocks of
+    /// `block_size` threads — the `ceildiv` idiom from the paper's Listing 1.
+    pub fn cover_1d(n: u64, block_size: u32) -> Self {
+        let blocks = n.div_ceil(block_size as u64);
+        LaunchConfig::new(Dim3::new_1d(blocks as u32), Dim3::new_1d(block_size))
+    }
+
+    /// Number of threads per block.
+    pub fn threads_per_block(&self) -> u64 {
+        self.block.total()
+    }
+
+    /// Total number of blocks in the grid.
+    pub fn num_blocks(&self) -> u64 {
+        self.grid.total()
+    }
+
+    /// Total number of threads launched.
+    pub fn total_threads(&self) -> u64 {
+        self.num_blocks() * self.threads_per_block()
+    }
+
+    /// Validates the launch against a device's hardware limits.
+    pub fn validate(&self, spec: &GpuSpec) -> SimResult<()> {
+        let tpb = self.threads_per_block();
+        if tpb == 0 || self.num_blocks() == 0 {
+            return Err(SimError::InvalidLaunch(
+                "grid and block extents must be non-zero".to_string(),
+            ));
+        }
+        if tpb > u64::from(spec.topology.max_threads_per_block) {
+            return Err(SimError::InvalidLaunch(format!(
+                "{} threads per block exceeds the device limit of {}",
+                tpb, spec.topology.max_threads_per_block
+            )));
+        }
+        if self.block.x > 1024 || self.block.y > 1024 || self.block.z > 64 {
+            return Err(SimError::InvalidLaunch(format!(
+                "block extent {} exceeds per-dimension limits (1024, 1024, 64)",
+                self.block
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LaunchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grid {} x block {}", self.grid, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::presets;
+
+    #[test]
+    fn dim3_total_and_roundtrip() {
+        let d = Dim3::new(4, 3, 2);
+        assert_eq!(d.total(), 24);
+        for linear in 0..d.total() {
+            let (x, y, z) = d.delinearize(linear);
+            assert_eq!(d.linearize(x, y, z), linear);
+        }
+    }
+
+    #[test]
+    fn dim3_constructors() {
+        assert_eq!(Dim3::new_1d(7), Dim3 { x: 7, y: 1, z: 1 });
+        assert_eq!(Dim3::new_2d(7, 5), Dim3 { x: 7, y: 5, z: 1 });
+        assert_eq!(Dim3::from(9u32).total(), 9);
+        assert_eq!(Dim3::from((2u32, 3u32)).total(), 6);
+        assert_eq!(Dim3::from((2u32, 3u32, 4u32)).total(), 24);
+    }
+
+    #[test]
+    fn cover_1d_rounds_up() {
+        let cfg = LaunchConfig::cover_1d(1000, 256);
+        assert_eq!(cfg.num_blocks(), 4);
+        assert_eq!(cfg.threads_per_block(), 256);
+        assert!(cfg.total_threads() >= 1000);
+
+        let exact = LaunchConfig::cover_1d(1024, 256);
+        assert_eq!(exact.num_blocks(), 4);
+    }
+
+    #[test]
+    fn validate_accepts_paper_configs() {
+        let h100 = presets::h100_nvl();
+        // Stencil: L=512 grid (512,1,1) blocks, block (512,1,1) threads... the
+        // paper's configurations are (1024,1,1) or (512,1,1) thread blocks.
+        let cfg = LaunchConfig::new((512u32, 512u32, 1u32), 512u32);
+        cfg.validate(&h100).unwrap();
+        let cfg = LaunchConfig::new(32768u32, 1024u32);
+        cfg.validate(&h100).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_oversized_blocks() {
+        let h100 = presets::h100_nvl();
+        let cfg = LaunchConfig::new(1u32, 2048u32);
+        assert!(cfg.validate(&h100).is_err());
+        let cfg = LaunchConfig::new(1u32, (1u32, 1u32, 128u32));
+        assert!(cfg.validate(&h100).is_err());
+        let cfg = LaunchConfig::new(0u32, 128u32);
+        assert!(cfg.validate(&h100).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let cfg = LaunchConfig::new(4u32, 128u32);
+        let s = cfg.to_string();
+        assert!(s.contains("grid (4, 1, 1)"));
+        assert!(s.contains("block (128, 1, 1)"));
+    }
+}

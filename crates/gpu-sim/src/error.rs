@@ -1,0 +1,96 @@
+//! Error type shared by the simulator.
+
+use std::fmt;
+
+/// Errors raised by the device simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A buffer allocation exceeded the simulated device's memory capacity.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available on the device.
+        available: u64,
+    },
+    /// A launch configuration violates a hardware limit.
+    InvalidLaunch(String),
+    /// A host/device copy had mismatched lengths.
+    SizeMismatch {
+        /// Elements expected by the destination.
+        expected: usize,
+        /// Elements provided by the source.
+        actual: usize,
+    },
+    /// An index was outside the bounds of a buffer or tensor.
+    OutOfBounds {
+        /// The offending linear index.
+        index: usize,
+        /// The buffer length.
+        len: usize,
+    },
+    /// A kernel or model parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B, {available} B available"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+            SimError::SizeMismatch { expected, actual } => {
+                write!(f, "size mismatch: expected {expected}, got {actual}")
+            }
+            SimError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            SimError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::OutOfMemory {
+            requested: 100,
+            available: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+
+        let e = SimError::InvalidLaunch("block too large".into());
+        assert!(e.to_string().contains("block too large"));
+
+        let e = SimError::SizeMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
+
+        let e = SimError::OutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains("9"));
+
+        let e = SimError::InvalidParameter("ngauss must be 3 or 6".into());
+        assert!(e.to_string().contains("ngauss"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::InvalidLaunch("x".into()));
+    }
+}

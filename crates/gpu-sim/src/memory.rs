@@ -1,0 +1,394 @@
+//! Simulated device memory: a capacity-tracked pool of typed buffers.
+//!
+//! Mirrors the paper's memory model (Listing 1): the host creates a
+//! `DeviceContext`, enqueues buffer creations, copies data in, launches
+//! kernels over the buffers, and copies results back. Here [`Device`] plays
+//! the role of the context's device and [`DeviceBuffer`] the role of a device
+//! allocation. Buffers use GPU global-memory semantics: any simulated thread
+//! may read or write any element without synchronisation (see
+//! [`crate::slice::UnsafeSlice`] for the safety contract).
+
+use crate::atomics;
+use crate::error::{SimError, SimResult};
+use gpu_spec::{GpuSpec, Precision};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// Scalar element types that can live in simulated device memory.
+pub trait DeviceScalar: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Size of one element in bytes.
+    const SIZE_BYTES: usize;
+    /// The floating-point precision this type corresponds to, if any.
+    fn precision() -> Option<Precision>;
+}
+
+impl DeviceScalar for f32 {
+    const SIZE_BYTES: usize = 4;
+    fn precision() -> Option<Precision> {
+        Some(Precision::Fp32)
+    }
+}
+
+impl DeviceScalar for f64 {
+    const SIZE_BYTES: usize = 8;
+    fn precision() -> Option<Precision> {
+        Some(Precision::Fp64)
+    }
+}
+
+impl DeviceScalar for i32 {
+    const SIZE_BYTES: usize = 4;
+    fn precision() -> Option<Precision> {
+        None
+    }
+}
+
+impl DeviceScalar for u32 {
+    const SIZE_BYTES: usize = 4;
+    fn precision() -> Option<Precision> {
+        None
+    }
+}
+
+impl DeviceScalar for u64 {
+    const SIZE_BYTES: usize = 8;
+    fn precision() -> Option<Precision> {
+        None
+    }
+}
+
+#[derive(Debug)]
+struct DeviceInner {
+    spec: GpuSpec,
+    allocated_bytes: Mutex<u64>,
+}
+
+/// A simulated GPU device: owns the hardware description and tracks how much
+/// of the device memory is currently allocated.
+#[derive(Clone, Debug)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// Creates a device from a hardware description.
+    pub fn new(spec: GpuSpec) -> Self {
+        Device {
+            inner: Arc::new(DeviceInner {
+                spec,
+                allocated_bytes: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// The hardware description this device simulates.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.inner.spec
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        *self.inner.allocated_bytes.lock()
+    }
+
+    /// Bytes of device memory still available.
+    pub fn available_bytes(&self) -> u64 {
+        self.inner.spec.memory_bytes - self.allocated_bytes()
+    }
+
+    /// Allocates an uninitialised (zero-filled) buffer of `len` elements,
+    /// mirroring `ctx.enqueue_create_buffer[dtype](len)`.
+    pub fn alloc<T: DeviceScalar>(&self, len: usize) -> SimResult<DeviceBuffer<T>> {
+        let bytes = (len * T::SIZE_BYTES) as u64;
+        {
+            let mut allocated = self.inner.allocated_bytes.lock();
+            let available = self.inner.spec.memory_bytes - *allocated;
+            if bytes > available {
+                return Err(SimError::OutOfMemory {
+                    requested: bytes,
+                    available,
+                });
+            }
+            *allocated += bytes;
+        }
+        let cells: Box<[UnsafeCell<T>]> = (0..len).map(|_| UnsafeCell::new(T::default())).collect();
+        Ok(DeviceBuffer {
+            storage: Arc::new(BufferStorage {
+                cells,
+                bytes,
+                device: Arc::clone(&self.inner),
+            }),
+        })
+    }
+
+    /// Allocates a buffer and copies `data` into it (host-to-device transfer).
+    pub fn alloc_from_host<T: DeviceScalar>(&self, data: &[T]) -> SimResult<DeviceBuffer<T>> {
+        let buf = self.alloc::<T>(data.len())?;
+        buf.copy_from_host(data)?;
+        Ok(buf)
+    }
+}
+
+struct BufferStorage<T: DeviceScalar> {
+    cells: Box<[UnsafeCell<T>]>,
+    bytes: u64,
+    device: Arc<DeviceInner>,
+}
+
+// SAFETY: concurrent element access follows GPU global-memory semantics; the
+// disjointness obligation is documented on `UnsafeSlice` and `DeviceBuffer`.
+unsafe impl<T: DeviceScalar> Sync for BufferStorage<T> {}
+unsafe impl<T: DeviceScalar> Send for BufferStorage<T> {}
+
+impl<T: DeviceScalar> Drop for BufferStorage<T> {
+    fn drop(&mut self) {
+        let mut allocated = self.device.allocated_bytes.lock();
+        *allocated = allocated.saturating_sub(self.bytes);
+    }
+}
+
+impl<T: DeviceScalar> std::fmt::Debug for BufferStorage<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferStorage")
+            .field("len", &self.cells.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// A typed allocation in simulated device memory.
+///
+/// Cloning a `DeviceBuffer` clones the *handle* (like copying a device
+/// pointer), not the data. Reads and writes take `&self` and may be issued
+/// concurrently from many simulated threads; writers to the same element must
+/// not race, exactly as on hardware.
+#[derive(Clone, Debug)]
+pub struct DeviceBuffer<T: DeviceScalar> {
+    storage: Arc<BufferStorage<T>>,
+}
+
+impl<T: DeviceScalar> DeviceBuffer<T> {
+    /// Number of elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.storage.cells.len()
+    }
+
+    /// Whether the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.storage.cells.is_empty()
+    }
+
+    /// Size of the allocation in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.storage.bytes
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds (device-side bounds are always checked
+    /// by the simulator; hardware would silently corrupt memory instead).
+    #[inline]
+    pub fn read(&self, i: usize) -> T {
+        assert!(
+            i < self.len(),
+            "device read out of bounds: {} >= {}",
+            i,
+            self.len()
+        );
+        unsafe { *self.storage.cells[i].get() }
+    }
+
+    /// Writes element `i`. Concurrent writers to distinct elements are
+    /// allowed; racing on one element is a bug in the kernel.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn write(&self, i: usize, value: T) {
+        assert!(
+            i < self.len(),
+            "device write out of bounds: {} >= {}",
+            i,
+            self.len()
+        );
+        unsafe { *self.storage.cells[i].get() = value }
+    }
+
+    /// Fills the whole buffer with `value`.
+    pub fn fill(&self, value: T) {
+        for i in 0..self.len() {
+            self.write(i, value);
+        }
+    }
+
+    /// Copies host data into the buffer (host-to-device transfer).
+    pub fn copy_from_host(&self, data: &[T]) -> SimResult<()> {
+        if data.len() != self.len() {
+            return Err(SimError::SizeMismatch {
+                expected: self.len(),
+                actual: data.len(),
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            self.write(i, *v);
+        }
+        Ok(())
+    }
+
+    /// Copies the buffer back to the host (device-to-host transfer).
+    pub fn copy_to_host(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.read(i)).collect()
+    }
+
+    /// Raw pointer to element `i`, used by the atomic operations below.
+    #[inline]
+    fn element_ptr(&self, i: usize) -> *mut T {
+        assert!(
+            i < self.len(),
+            "device atomic out of bounds: {} >= {}",
+            i,
+            self.len()
+        );
+        self.storage.cells[i].get()
+    }
+}
+
+impl DeviceBuffer<f64> {
+    /// Atomically adds `value` to element `i` and returns the previous value,
+    /// mirroring Mojo's `Atomic.fetch_add` / CUDA's `atomicAdd` on doubles.
+    #[inline]
+    pub fn atomic_add(&self, i: usize, value: f64) -> f64 {
+        // SAFETY: pointer is valid and 8-aligned; atomics::fetch_add_f64 only
+        // issues atomic operations on it.
+        unsafe { atomics::fetch_add_f64(self.element_ptr(i), value) }
+    }
+}
+
+impl DeviceBuffer<f32> {
+    /// Atomically adds `value` to element `i` and returns the previous value.
+    #[inline]
+    pub fn atomic_add(&self, i: usize, value: f32) -> f32 {
+        // SAFETY: pointer is valid and 4-aligned.
+        unsafe { atomics::fetch_add_f32(self.element_ptr(i), value) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::presets;
+
+    fn device() -> Device {
+        Device::new(presets::test_device())
+    }
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let dev = device();
+        let buf = dev.alloc_from_host(&[1.0f64, 2.0, 3.0]).unwrap();
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.size_bytes(), 24);
+        assert_eq!(buf.copy_to_host(), vec![1.0, 2.0, 3.0]);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn alloc_tracks_capacity_and_frees_on_drop() {
+        let dev = device();
+        assert_eq!(dev.allocated_bytes(), 0);
+        {
+            let _a = dev.alloc::<f64>(1024).unwrap();
+            let _b = dev.alloc::<f32>(1024).unwrap();
+            assert_eq!(dev.allocated_bytes(), 8 * 1024 + 4 * 1024);
+        }
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn clone_shares_storage_and_counts_once() {
+        let dev = device();
+        let a = dev.alloc::<f64>(16).unwrap();
+        let b = a.clone();
+        b.write(5, 7.0);
+        assert_eq!(a.read(5), 7.0);
+        assert_eq!(dev.allocated_bytes(), 128);
+        drop(a);
+        assert_eq!(dev.allocated_bytes(), 128);
+        drop(b);
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let dev = device();
+        let too_big = (dev.spec().memory_bytes / 8 + 1) as usize;
+        let err = dev.alloc::<f64>(too_big).unwrap_err();
+        match err {
+            SimError::OutOfMemory { requested, .. } => assert!(requested > dev.spec().memory_bytes),
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_size_mismatch_is_reported() {
+        let dev = device();
+        let buf = dev.alloc::<f32>(4).unwrap();
+        assert!(matches!(
+            buf.copy_from_host(&[1.0, 2.0]),
+            Err(SimError::SizeMismatch {
+                expected: 4,
+                actual: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn fill_sets_every_element() {
+        let dev = device();
+        let buf = dev.alloc::<u32>(100).unwrap();
+        buf.fill(42);
+        assert!(buf.copy_to_host().iter().all(|&v| v == 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_out_of_bounds_panics() {
+        let dev = device();
+        let buf = dev.alloc::<f64>(2).unwrap();
+        let _ = buf.read(2);
+    }
+
+    #[test]
+    fn atomic_add_f64_accumulates() {
+        let dev = device();
+        let buf = dev.alloc::<f64>(1).unwrap();
+        use rayon::prelude::*;
+        (0..1000).into_par_iter().for_each(|_| {
+            buf.atomic_add(0, 1.0);
+        });
+        assert_eq!(buf.read(0), 1000.0);
+    }
+
+    #[test]
+    fn atomic_add_f32_accumulates() {
+        let dev = device();
+        let buf = dev.alloc::<f32>(1).unwrap();
+        use rayon::prelude::*;
+        (0..1000).into_par_iter().for_each(|_| {
+            buf.atomic_add(0, 0.5);
+        });
+        assert_eq!(buf.read(0), 500.0);
+    }
+
+    #[test]
+    fn scalar_sizes_and_precisions() {
+        assert_eq!(f32::SIZE_BYTES, 4);
+        assert_eq!(f64::SIZE_BYTES, 8);
+        assert_eq!(f32::precision(), Some(Precision::Fp32));
+        assert_eq!(f64::precision(), Some(Precision::Fp64));
+        assert_eq!(i32::precision(), None);
+        assert_eq!(u64::precision(), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! NCU-style profiling reports.
+//!
+//! Tables 2 and 3 of the paper are produced with NVIDIA Nsight Compute and
+//! report, per kernel and per programming model: duration, compute (SM) and
+//! memory throughput percentages, arithmetic intensity and achieved FLOP/s at
+//! the L1/L2/device levels, registers per thread, and global load/store
+//! counts. The simulator has no hardware counters, but every one of those
+//! rows is derivable from the launch cost, the backend execution profile and
+//! the simulated duration — which is what [`ProfileReport`] does.
+
+use crate::isa::InstructionMix;
+use crate::stats::KernelCost;
+use crate::timing::{ExecutionProfile, LaunchTiming};
+use gpu_spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// NCU reports the utilisation of the busiest pipe among several (ALU, FMA,
+/// LSU, address). The simulator tracks only arithmetic issue time, so the
+/// reported "Compute SM %" is scaled by this factor to account for the pipes
+/// it does not model separately. Calibrated once against the CUDA stencil row
+/// of the paper's Table 2 and then held fixed for every kernel and backend.
+const PIPE_REPORT_FACTOR: f64 = 3.5;
+
+/// A profiling report for one kernel launch on one backend, mirroring the
+/// rows of the paper's Tables 2–3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Backend label ("Mojo", "CUDA", "HIP").
+    pub backend: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Kernel duration in milliseconds.
+    pub duration_ms: f64,
+    /// Compute (SM) throughput percentage.
+    pub compute_sm_pct: f64,
+    /// Memory throughput percentage.
+    pub memory_pct: f64,
+    /// Arithmetic intensity at the L1 level (FLOP/byte).
+    pub l1_ai: f64,
+    /// Arithmetic intensity at the L2 level (FLOP/byte).
+    pub l2_ai: f64,
+    /// Arithmetic intensity at the device-memory level (FLOP/byte).
+    pub l3_ai: f64,
+    /// Achieved floating-point performance (FLOP/s).
+    pub perf_flops: f64,
+    /// Registers allocated per thread.
+    pub registers: u32,
+    /// Global load instructions per thread.
+    pub load_global: f64,
+    /// Global store instructions per thread.
+    pub store_global: f64,
+    /// Achieved device-memory bandwidth in GB/s.
+    pub achieved_bandwidth_gbs: f64,
+}
+
+impl ProfileReport {
+    /// Builds a report from the launch cost, the backend profile, the
+    /// simulated timing and the device description.
+    pub fn derive(
+        spec: &GpuSpec,
+        cost: &KernelCost,
+        profile: &ExecutionProfile,
+        timing: &LaunchTiming,
+    ) -> Self {
+        let duration_s = timing.seconds.max(1e-12);
+        let achieved_bw = cost.total_bytes() as f64 / duration_s;
+        let memory_pct = 100.0 * achieved_bw / spec.peak_bandwidth_bytes_per_s();
+
+        // Issue-time model for the compute pipes: warp-instructions divided by
+        // the device's aggregate issue rate (4 schedulers per SM at the base
+        // clock), scaled by PIPE_REPORT_FACTOR (see its doc comment).
+        let mix = InstructionMix::derive(cost, profile);
+        let warps = cost.launch.total_threads() as f64 / f64::from(spec.topology.simt_width);
+        // The backend's issue overhead inflates the whole instruction stream
+        // (extra moves, predication, spills), not just the address arithmetic
+        // the mix itemises.
+        let warp_instructions = warps * mix.total() * profile.issue_overhead;
+        let issue_rate =
+            f64::from(spec.topology.num_compute_units) * 4.0 * spec.topology.clock_ghz * 1e9;
+        let issue_time = warp_instructions / issue_rate;
+        let compute_sm_pct = (100.0 * issue_time * PIPE_REPORT_FACTOR / duration_s).min(98.0);
+
+        let perf_flops = cost.flops.total() as f64 / duration_s;
+
+        ProfileReport {
+            backend: profile.backend.clone(),
+            kernel: cost.kernel_name.clone(),
+            duration_ms: timing.millis(),
+            compute_sm_pct,
+            memory_pct: memory_pct.min(98.0),
+            l1_ai: cost.arithmetic_intensity_l1(),
+            l2_ai: cost.arithmetic_intensity_l2(),
+            l3_ai: cost.arithmetic_intensity_dram(),
+            perf_flops,
+            registers: profile.registers_per_thread,
+            load_global: cost.loads_per_thread,
+            store_global: cost.stores_per_thread,
+            achieved_bandwidth_gbs: achieved_bw / 1e9,
+        }
+    }
+
+    /// A `(arithmetic intensity, achieved FLOP/s)` point for the roofline plot
+    /// (Fig. 2 of the paper), using device-level intensity.
+    pub fn roofline_point(&self) -> (f64, f64) {
+        (self.l3_ai, self.perf_flops)
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} / {}", self.backend, self.kernel)?;
+        writeln!(f, "  Duration (ms)        {:>10.3}", self.duration_ms)?;
+        writeln!(f, "  Compute SM (%)       {:>10.1}", self.compute_sm_pct)?;
+        writeln!(f, "  Memory (%)           {:>10.1}", self.memory_pct)?;
+        writeln!(f, "  L1 ai (FLOP/byte)    {:>10.2}", self.l1_ai)?;
+        writeln!(f, "  L2 ai (FLOP/byte)    {:>10.2}", self.l2_ai)?;
+        writeln!(f, "  L3 ai (FLOP/byte)    {:>10.2}", self.l3_ai)?;
+        writeln!(f, "  Perf (FLOP/s)        {:>10.3e}", self.perf_flops)?;
+        writeln!(f, "  Registers            {:>10}", self.registers)?;
+        writeln!(f, "  Load Global (LDG)    {:>10.1}", self.load_global)?;
+        write!(f, "  Store Global (STG)   {:>10.1}", self.store_global)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::LaunchConfig;
+    use crate::stats::{AccessPattern, FlopCounts};
+    use crate::timing::TimingModel;
+    use gpu_spec::{presets, Precision};
+
+    /// Cost of the L=512 FP64 seven-point stencil (paper Table 2 left half).
+    fn stencil_cost() -> KernelCost {
+        let l: u64 = 512;
+        let elem = 8u64;
+        let fetch = (l * l * l - 8 - 12 * (l - 2)) * elem;
+        let write = (l - 2).pow(3) * elem;
+        let interior = (l - 2).pow(3);
+        KernelCost::builder(
+            "laplacian",
+            Precision::Fp64,
+            LaunchConfig::new((512u32, 512u32, 1u32), (512u32, 1u32, 1u32)),
+            AccessPattern::Stencil3D,
+        )
+        .dram_traffic(fetch, write)
+        .l1_bytes(interior * 8 * elem) // 7 reads + 1 write per interior cell at L1
+        .l2_bytes(interior * 4 * elem)
+        .flops(FlopCounts {
+            adds: interior * 6,
+            muls: interior * 4,
+            ..Default::default()
+        })
+        .loads_stores_per_thread(7.0, 1.0)
+        .build()
+    }
+
+    fn cuda_like() -> ExecutionProfile {
+        let mut p = ExecutionProfile::ideal("CUDA");
+        p.registers_per_thread = 21;
+        p.mem_efficiency = 0.56;
+        p.issue_overhead = 1.0;
+        p.constant_loads_per_thread = 3;
+        p
+    }
+
+    fn mojo_like() -> ExecutionProfile {
+        let mut p = ExecutionProfile::ideal("Mojo");
+        p.registers_per_thread = 24;
+        p.mem_efficiency = 0.49;
+        p.issue_overhead = 1.6;
+        p.constant_loads_per_thread = 1;
+        p
+    }
+
+    #[test]
+    fn stencil_report_reproduces_table2_shape() {
+        let spec = presets::h100_nvl();
+        let model = TimingModel::new(spec.clone());
+        let cost = stencil_cost();
+
+        let cuda = cuda_like();
+        let mojo = mojo_like();
+        let t_cuda = model.estimate(&cost, &cuda);
+        let t_mojo = model.estimate(&cost, &mojo);
+        let r_cuda = ProfileReport::derive(&spec, &cost, &cuda, &t_cuda);
+        let r_mojo = ProfileReport::derive(&spec, &cost, &mojo, &t_mojo);
+
+        // Table 2 shape: Mojo is slower, uses more registers, has a *higher*
+        // Compute SM % and a *lower* Memory %, identical LDG/STG, and the same
+        // arithmetic intensities.
+        assert!(r_mojo.duration_ms > r_cuda.duration_ms);
+        assert!(r_mojo.registers > r_cuda.registers);
+        assert!(r_mojo.compute_sm_pct > r_cuda.compute_sm_pct);
+        assert!(r_mojo.memory_pct < r_cuda.memory_pct);
+        assert_eq!(r_mojo.load_global, r_cuda.load_global);
+        assert_eq!(r_mojo.store_global, r_cuda.store_global);
+        assert!((r_mojo.l1_ai - r_cuda.l1_ai).abs() < 1e-12);
+
+        // Intensities must be ordered L1 < L2 < L3 as in the paper.
+        assert!(r_cuda.l1_ai < r_cuda.l2_ai);
+        assert!(r_cuda.l2_ai < r_cuda.l3_ai);
+
+        // CUDA's duration should land in the vicinity of the paper's 0.96 ms.
+        assert!(
+            r_cuda.duration_ms > 0.7 && r_cuda.duration_ms < 1.3,
+            "CUDA stencil duration {} ms out of expected range",
+            r_cuda.duration_ms
+        );
+
+        // Compute SM percentages in a plausible NCU range.
+        assert!(r_cuda.compute_sm_pct > 20.0 && r_cuda.compute_sm_pct < 75.0);
+        assert!(r_mojo.compute_sm_pct > r_cuda.compute_sm_pct);
+    }
+
+    #[test]
+    fn roofline_point_uses_dram_intensity() {
+        let spec = presets::h100_nvl();
+        let model = TimingModel::new(spec.clone());
+        let cost = stencil_cost();
+        let profile = cuda_like();
+        let timing = model.estimate(&cost, &profile);
+        let report = ProfileReport::derive(&spec, &cost, &profile, &timing);
+        let (ai, flops) = report.roofline_point();
+        assert!((ai - cost.arithmetic_intensity_dram()).abs() < 1e-12);
+        assert!(flops > 0.0);
+        // A memory-bound stencil must sit below the device roofline.
+        assert!(flops <= spec.roofline_flops(ai, Precision::Fp64) * 1.05);
+    }
+
+    #[test]
+    fn percentages_are_capped() {
+        let spec = presets::test_device();
+        let model = TimingModel::new(spec.clone());
+        let cost = stencil_cost();
+        let mut profile = ExecutionProfile::ideal("ideal");
+        profile.mem_efficiency = 1.0;
+        let timing = model.estimate(&cost, &profile);
+        let report = ProfileReport::derive(&spec, &cost, &profile, &timing);
+        assert!(report.memory_pct <= 98.0);
+        assert!(report.compute_sm_pct <= 98.0);
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let spec = presets::h100_nvl();
+        let model = TimingModel::new(spec.clone());
+        let cost = stencil_cost();
+        let profile = cuda_like();
+        let timing = model.estimate(&cost, &profile);
+        let report = ProfileReport::derive(&spec, &cost, &profile, &timing);
+        let s = report.to_string();
+        for needle in [
+            "Duration",
+            "Compute SM",
+            "Memory",
+            "L1 ai",
+            "Registers",
+            "Load Global",
+            "Store Global",
+        ] {
+            assert!(s.contains(needle), "missing row {needle}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! A shareable slice with GPU device-memory write semantics.
+//!
+//! On a real GPU, every thread of a launch can write anywhere in global
+//! memory; the hardware provides no synchronisation and data races are the
+//! kernel author's responsibility. Simulated kernels need the same freedom:
+//! many threads (rayon tasks) write disjoint elements of one output array.
+//! [`UnsafeSlice`] makes that pattern expressible: it is `Sync`, hands out
+//! unsynchronised element reads/writes, and documents the disjointness
+//! obligation instead of enforcing it — exactly the contract CUDA and HIP give.
+
+use std::cell::UnsafeCell;
+
+/// A wrapper around a mutable slice that allows concurrent element writes from
+/// multiple threads.
+///
+/// # Safety contract
+///
+/// [`UnsafeSlice::write`] is safe to *call* but the caller must uphold the
+/// GPU-kernel contract: two threads must not write the same element without
+/// external synchronisation, and an element concurrently written must not be
+/// read. Violating this is a data race (undefined behaviour), just as it is in
+/// a CUDA kernel. All kernels in this repository write disjoint index sets per
+/// thread and are audited by their unit tests.
+pub struct UnsafeSlice<'a, T> {
+    slice: &'a [UnsafeCell<T>],
+}
+
+unsafe impl<T: Send + Sync> Sync for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for UnsafeSlice<'_, T> {}
+
+impl<T> std::fmt::Debug for UnsafeSlice<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnsafeSlice")
+            .field("len", &self.slice.len())
+            .finish()
+    }
+}
+
+impl<'a, T: Copy> UnsafeSlice<'a, T> {
+    /// Wraps a mutable slice. The slice is exclusively borrowed for the
+    /// lifetime of the wrapper, so no safe alias can observe the writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: [T] and [UnsafeCell<T>] have identical layout.
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        UnsafeSlice {
+            slice: unsafe { &*ptr },
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn read(&self, i: usize) -> T {
+        unsafe { *self.slice[i].get() }
+    }
+
+    /// Writes element `i`.
+    ///
+    /// See the type-level safety contract: the caller must guarantee no other
+    /// thread concurrently reads or writes element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn write(&self, i: usize, value: T) {
+        unsafe { *self.slice[i].get() = value }
+    }
+
+    /// Raw pointer to element `i`, for callers that need to issue atomic
+    /// operations on the element (see [`crate::atomics`]).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn element_ptr(&self, i: usize) -> *mut T {
+        self.slice[i].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn single_thread_read_write() {
+        let mut data = vec![0.0f64; 8];
+        {
+            let s = UnsafeSlice::new(&mut data);
+            assert_eq!(s.len(), 8);
+            assert!(!s.is_empty());
+            s.write(3, 1.5);
+            assert_eq!(s.read(3), 1.5);
+            assert_eq!(s.read(0), 0.0);
+        }
+        assert_eq!(data[3], 1.5);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let mut data: Vec<f32> = vec![];
+        let s = UnsafeSlice::new(&mut data);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn disjoint_parallel_writes_are_visible() {
+        let n = 10_000;
+        let mut data = vec![0u64; n];
+        {
+            let s = UnsafeSlice::new(&mut data);
+            (0..n).into_par_iter().for_each(|i| {
+                s.write(i, (i * 2) as u64);
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i * 2) as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mut data = vec![0.0f32; 2];
+        let s = UnsafeSlice::new(&mut data);
+        let _ = s.read(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut data = vec![0.0f32; 2];
+        let s = UnsafeSlice::new(&mut data);
+        s.write(5, 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the simulator's core invariants.
+
+use gpu_sim::stats::{AccessPattern, FlopCounts, KernelCost};
+use gpu_sim::{launch_flat, Dim3, ExecutionProfile, LaunchConfig, TimingModel, UnsafeSlice};
+use gpu_spec::{presets, Precision};
+use proptest::prelude::*;
+
+proptest! {
+    /// Linearising and delinearising a Dim3 index is a bijection.
+    #[test]
+    fn dim3_linearisation_round_trips(x in 1u32..32, y in 1u32..16, z in 1u32..8, pick in 0u64..4096) {
+        let dim = Dim3::new(x, y, z);
+        let linear = pick % dim.total();
+        let (i, j, k) = dim.delinearize(linear);
+        prop_assert_eq!(dim.linearize(i, j, k), linear);
+        prop_assert!(i < x && j < y && k < z);
+    }
+
+    /// cover_1d always launches at least `n` threads but never a whole extra block more.
+    #[test]
+    fn cover_1d_is_tight(n in 1u64..5_000_000, block in 1u32..1024) {
+        let cfg = LaunchConfig::cover_1d(n, block);
+        prop_assert!(cfg.total_threads() >= n);
+        prop_assert!(cfg.total_threads() - n < u64::from(block));
+    }
+
+    /// Every simulated thread runs exactly once regardless of launch shape.
+    #[test]
+    fn flat_executor_touches_each_global_id_once(
+        blocks in 1u32..24, threads in 1u32..96,
+    ) {
+        let cfg = LaunchConfig::new(blocks, threads);
+        let total = cfg.total_threads() as usize;
+        let mut hits = vec![0u32; total];
+        {
+            let slice = UnsafeSlice::new(&mut hits);
+            launch_flat(&cfg, |ctx| {
+                let id = ctx.global_x() as usize;
+                slice.write(id, slice.read(id) + 1);
+            });
+        }
+        prop_assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    /// Timing is monotone in traffic: strictly more bytes never runs faster.
+    #[test]
+    fn timing_is_monotone_in_bytes(
+        bytes_a in 1u64..1_000_000_000u64,
+        extra in 1u64..1_000_000_000u64,
+        eff in 0.05f64..1.0,
+    ) {
+        let model = TimingModel::new(presets::h100_nvl());
+        let mut profile = ExecutionProfile::ideal("prop");
+        profile.mem_efficiency = eff;
+        let cost = |bytes: u64| KernelCost::builder(
+            "prop",
+            Precision::Fp64,
+            LaunchConfig::cover_1d(1024, 256),
+            AccessPattern::Stream,
+        )
+        .dram_traffic(bytes / 2, bytes / 2)
+        .build();
+        let t_a = model.estimate(&cost(bytes_a), &profile).seconds;
+        let t_b = model.estimate(&cost(bytes_a + extra), &profile).seconds;
+        prop_assert!(t_b >= t_a);
+    }
+
+    /// Lowering any efficiency never makes a kernel faster, and fast-math
+    /// (cheaper transcendentals) never makes it slower.
+    #[test]
+    fn timing_is_monotone_in_efficiencies(
+        mem_eff in 0.1f64..1.0,
+        comp_eff in 0.1f64..1.0,
+        sfu in 1.0f64..64.0,
+        flops in 1u64..2_000_000_000u64,
+    ) {
+        let model = TimingModel::new(presets::mi300a());
+        let cost = KernelCost::builder(
+            "prop",
+            Precision::Fp32,
+            LaunchConfig::cover_1d(1 << 16, 256),
+            AccessPattern::ComputeTiled,
+        )
+        .dram_traffic(1 << 20, 1 << 20)
+        .flops(FlopCounts { fmas: flops / 2, transcendentals: flops / 10, ..Default::default() })
+        .build();
+        let mut base = ExecutionProfile::ideal("base");
+        base.mem_efficiency = mem_eff;
+        base.compute_efficiency = comp_eff;
+        base.sfu_cost_flops = sfu;
+
+        let mut slower = base.clone();
+        slower.compute_efficiency = comp_eff * 0.5;
+        prop_assert!(model.estimate(&cost, &slower).seconds >= model.estimate(&cost, &base).seconds);
+
+        let mut fast_math = base.clone();
+        fast_math.sfu_cost_flops = 1.0;
+        prop_assert!(model.estimate(&cost, &fast_math).seconds <= model.estimate(&cost, &base).seconds);
+    }
+
+    /// FlopCounts::combine is commutative and scale distributes over totals.
+    #[test]
+    fn flop_counts_algebra(
+        a in 0u64..1_000_000, m in 0u64..1_000_000, f in 0u64..1_000_000,
+        t in 0u64..1_000_000, factor in 1u64..1000,
+    ) {
+        let x = FlopCounts { adds: a, muls: m, fmas: f, transcendentals: t, ..Default::default() };
+        let y = FlopCounts { adds: m, muls: t, fmas: a, transcendentals: f, ..Default::default() };
+        prop_assert_eq!(x.combine(&y), y.combine(&x));
+        prop_assert_eq!(x.scale(factor).total(), x.total() * factor);
+    }
+}

@@ -1,0 +1,93 @@
+//! BabelStream run configuration.
+
+use gpu_spec::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Vector sizes above which the host driver skips functional execution in
+/// unoptimised builds would be painful; the paper's 2^25-element vectors are
+/// still executed functionally when `validate` is set because the operations
+/// are linear-time.
+pub const PAPER_VECTOR_SIZE: usize = 1 << 25;
+
+/// Standard BabelStream initial values.
+pub const INIT_A: f64 = 0.1;
+/// Standard BabelStream initial values.
+pub const INIT_B: f64 = 0.2;
+/// Standard BabelStream initial values.
+pub const INIT_C: f64 = 0.0;
+/// Standard BabelStream scalar.
+pub const SCALAR: f64 = 0.4;
+
+/// Configuration of a BabelStream experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BabelStreamConfig {
+    /// Vector length (the paper uses 2^25 = 33,554,432).
+    pub n: usize,
+    /// Arithmetic precision.
+    pub precision: Precision,
+    /// Whether to execute functionally and validate against the expected
+    /// closed-form values.
+    pub validate: bool,
+}
+
+impl BabelStreamConfig {
+    /// The paper's configuration: 2^25 elements. Functional execution is
+    /// disabled by default at this size (the timing model does not need it);
+    /// enable it explicitly with [`BabelStreamConfig::with_validation`].
+    pub fn paper(precision: Precision) -> Self {
+        BabelStreamConfig {
+            n: PAPER_VECTOR_SIZE,
+            precision,
+            validate: false,
+        }
+    }
+
+    /// A smaller configuration that always executes and validates.
+    pub fn validation(n: usize, precision: Precision) -> Self {
+        BabelStreamConfig {
+            n,
+            precision,
+            validate: true,
+        }
+    }
+
+    /// Returns a copy with functional execution enabled.
+    pub fn with_validation(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
+    /// Size of one array in bytes.
+    pub fn array_bytes(&self) -> u64 {
+        self.n as u64 * self.precision.size_of() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_uses_2_pow_25() {
+        let c = BabelStreamConfig::paper(Precision::Fp64);
+        assert_eq!(c.n, 33_554_432);
+        assert_eq!(c.array_bytes(), 33_554_432 * 8);
+        assert!(!c.validate);
+        assert!(c.with_validation().validate);
+    }
+
+    #[test]
+    fn validation_config() {
+        let c = BabelStreamConfig::validation(1024, Precision::Fp32);
+        assert!(c.validate);
+        assert_eq!(c.array_bytes(), 4096);
+    }
+
+    #[test]
+    fn standard_initial_values() {
+        assert_eq!(INIT_A, 0.1);
+        assert_eq!(INIT_B, 0.2);
+        assert_eq!(INIT_C, 0.0);
+        assert_eq!(SCALAR, 0.4);
+    }
+}

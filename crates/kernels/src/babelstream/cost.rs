@@ -1,0 +1,157 @@
+//! Analytic launch cost of the BabelStream operations.
+
+use super::config::BabelStreamConfig;
+use gpu_sim::stats::{AccessPattern, FlopCounts};
+use gpu_sim::KernelCost;
+use vendor_models::heuristics;
+use vendor_models::kernel_class::StreamOp;
+use vendor_models::Platform;
+
+/// Builds the launch cost of one BabelStream operation under `config` on the
+/// given platform (the platform matters only for the Dot grid heuristic).
+pub fn stream_cost(platform: &Platform, op: StreamOp, config: &BabelStreamConfig) -> KernelCost {
+    let n = config.n as u64;
+    let array = config.array_bytes();
+    let launch = match op {
+        StreamOp::Dot => heuristics::dot_launch(platform.backend, &platform.spec, n),
+        _ => heuristics::stream_launch(n),
+    };
+
+    let (bytes_read, bytes_written, flops, loads, stores, pattern) = match op {
+        StreamOp::Copy => (array, array, FlopCounts::default(), 1.0, 1.0, AccessPattern::Stream),
+        StreamOp::Mul => (
+            array,
+            array,
+            FlopCounts {
+                muls: n,
+                ..Default::default()
+            },
+            1.0,
+            1.0,
+            AccessPattern::Stream,
+        ),
+        StreamOp::Add => (
+            2 * array,
+            array,
+            FlopCounts {
+                adds: n,
+                ..Default::default()
+            },
+            2.0,
+            1.0,
+            AccessPattern::Stream,
+        ),
+        StreamOp::Triad => (
+            2 * array,
+            array,
+            FlopCounts {
+                fmas: n,
+                ..Default::default()
+            },
+            2.0,
+            1.0,
+            AccessPattern::Stream,
+        ),
+        StreamOp::Dot => {
+            // Each element contributes one FMA into shared memory, plus a
+            // log2(block) tree reduction per block.
+            let threads = launch.total_threads();
+            let elems_per_thread = (n as f64 / threads as f64).ceil();
+            (
+                2 * array,
+                launch.num_blocks() * config.precision.size_of() as u64,
+                FlopCounts {
+                    fmas: n,
+                    adds: launch.total_threads(), // reduction adds (≈ block_dim per block)
+                    ..Default::default()
+                },
+                2.0 * elems_per_thread,
+                1.0 / launch.threads_per_block() as f64,
+                AccessPattern::Reduction,
+            )
+        }
+    };
+
+    let mut builder = KernelCost::builder(op.label(), config.precision, launch, pattern)
+        .dram_traffic(bytes_read, bytes_written)
+        .flops(flops)
+        .loads_stores_per_thread(loads, stores);
+    if op == StreamOp::Dot {
+        let block = launch.threads_per_block();
+        let barriers = (block as f64).log2().ceil() as u64 + 1;
+        builder = builder.shared(
+            launch.total_threads() * config.precision.size_of() as u64 * 2,
+            barriers,
+        );
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::Precision;
+    use vendor_models::Backend;
+
+    fn platform() -> Platform {
+        Platform::portable_h100()
+    }
+
+    #[test]
+    fn traffic_matches_eq2_multipliers() {
+        let config = BabelStreamConfig::paper(Precision::Fp64);
+        let array = config.array_bytes();
+        for (op, mult) in [
+            (StreamOp::Copy, 2),
+            (StreamOp::Mul, 2),
+            (StreamOp::Add, 3),
+            (StreamOp::Triad, 3),
+        ] {
+            let cost = stream_cost(&platform(), op, &config);
+            assert_eq!(cost.total_bytes(), mult * array, "{op}");
+        }
+        // Dot reads two arrays; its writes (one partial per block) are noise.
+        let dot = stream_cost(&platform(), StreamOp::Dot, &config);
+        assert!(dot.total_bytes() >= 2 * array);
+        assert!(dot.total_bytes() < 2 * array + 1_000_000);
+    }
+
+    #[test]
+    fn copy_has_no_flops_triad_has_fmas() {
+        let config = BabelStreamConfig::paper(Precision::Fp32);
+        assert_eq!(
+            stream_cost(&platform(), StreamOp::Copy, &config).flops.total(),
+            0
+        );
+        let triad = stream_cost(&platform(), StreamOp::Triad, &config);
+        assert_eq!(triad.flops.fmas, config.n as u64);
+    }
+
+    #[test]
+    fn dot_grid_depends_on_backend() {
+        let config = BabelStreamConfig::paper(Precision::Fp64);
+        let portable = stream_cost(&Platform::portable_h100(), StreamOp::Dot, &config);
+        let cuda = stream_cost(&Platform::cuda_h100(false), StreamOp::Dot, &config);
+        assert_ne!(portable.launch.num_blocks(), cuda.launch.num_blocks());
+        assert_eq!(portable.launch.num_blocks(), 1024);
+        let h100 = gpu_spec::presets::h100_nvl();
+        assert_eq!(
+            cuda.launch.num_blocks(),
+            u64::from(h100.topology.num_compute_units * 4)
+        );
+        assert!(matches!(
+            Platform::cuda_h100(false).backend,
+            Backend::Cuda { .. }
+        ));
+    }
+
+    #[test]
+    fn dot_has_shared_memory_and_barriers() {
+        let config = BabelStreamConfig::paper(Precision::Fp64);
+        let dot = stream_cost(&platform(), StreamOp::Dot, &config);
+        assert!(dot.shared_bytes > 0);
+        assert!(dot.barriers >= 10);
+        let copy = stream_cost(&platform(), StreamOp::Copy, &config);
+        assert_eq!(copy.shared_bytes, 0);
+    }
+}

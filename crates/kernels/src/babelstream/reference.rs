@@ -1,0 +1,63 @@
+//! Expected results for each BabelStream operation.
+//!
+//! BabelStream initialises `a = 0.1`, `b = 0.2`, `c = 0.0` and uses
+//! `scalar = 0.4`. Because every element of each array holds the same value,
+//! the result of each operation is a constant array (or a single scalar for
+//! Dot) that can be written in closed form — which is exactly how the
+//! original benchmark verifies itself.
+
+use super::config::{BabelStreamConfig, INIT_A, INIT_B, INIT_C, SCALAR};
+use vendor_models::kernel_class::StreamOp;
+
+/// The expected per-element value of the array each operation writes, or the
+/// expected scalar for Dot.
+pub fn expected_values(op: StreamOp, config: &BabelStreamConfig) -> f64 {
+    match op {
+        // c = a
+        StreamOp::Copy => INIT_A,
+        // b = scalar * c  (run on freshly initialised arrays, c = INIT_C)
+        StreamOp::Mul => SCALAR * INIT_C,
+        // c = a + b
+        StreamOp::Add => INIT_A + INIT_B,
+        // a = b + scalar * c
+        StreamOp::Triad => INIT_B + SCALAR * INIT_C,
+        // sum = Σ a·b
+        StreamOp::Dot => INIT_A * INIT_B * config.n as f64,
+    }
+}
+
+/// Which array (by name) each operation writes; used by the drivers to pick
+/// the buffer to verify.
+pub fn output_array(op: StreamOp) -> &'static str {
+    match op {
+        StreamOp::Copy | StreamOp::Add => "c",
+        StreamOp::Mul => "b",
+        StreamOp::Triad => "a",
+        StreamOp::Dot => "sum",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::Precision;
+
+    #[test]
+    fn closed_forms_match_the_benchmark_definitions() {
+        let config = BabelStreamConfig::validation(1000, Precision::Fp64);
+        assert_eq!(expected_values(StreamOp::Copy, &config), 0.1);
+        assert_eq!(expected_values(StreamOp::Mul, &config), 0.0);
+        assert!((expected_values(StreamOp::Add, &config) - 0.3).abs() < 1e-15);
+        assert_eq!(expected_values(StreamOp::Triad, &config), 0.2);
+        assert!((expected_values(StreamOp::Dot, &config) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_arrays_match_listing3() {
+        assert_eq!(output_array(StreamOp::Copy), "c");
+        assert_eq!(output_array(StreamOp::Mul), "b");
+        assert_eq!(output_array(StreamOp::Add), "c");
+        assert_eq!(output_array(StreamOp::Triad), "a");
+        assert_eq!(output_array(StreamOp::Dot), "sum");
+    }
+}

@@ -1,0 +1,104 @@
+//! Hartree–Fock run configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Atom counts above which functional execution is skipped: the quartet count
+/// grows as `O(natoms⁴)` and a 256-atom system already implies half a billion
+/// quartets, far beyond what a host-side validation run should attempt. The
+/// cost model (including exact Schwarz-screening counts) covers every size.
+pub const MAX_FUNCTIONAL_NATOMS: u32 = 48;
+
+/// Schwarz screening threshold used by the proxy app.
+pub const DEFAULT_SCREENING_TOL: f64 = 1e-9;
+
+/// Configuration of one Hartree–Fock experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HartreeFockConfig {
+    /// Number of helium atoms (the paper runs 64, 128, 256 and 1024).
+    pub natoms: u32,
+    /// Gaussian primitives per atom (3, or 6 for the 1024-atom case).
+    pub ngauss: u32,
+    /// Lattice spacing between helium atoms in Bohr.
+    pub spacing: f64,
+    /// Schwarz screening threshold.
+    pub screening_tol: f64,
+    /// Whether to execute functionally and validate against the CPU reference
+    /// (automatically limited to [`MAX_FUNCTIONAL_NATOMS`]).
+    pub validate: bool,
+}
+
+impl HartreeFockConfig {
+    /// The paper's configuration for a given system size.
+    pub fn paper(natoms: u32, ngauss: u32) -> Self {
+        HartreeFockConfig {
+            natoms,
+            ngauss,
+            spacing: 2.0,
+            screening_tol: DEFAULT_SCREENING_TOL,
+            validate: natoms <= MAX_FUNCTIONAL_NATOMS,
+        }
+    }
+
+    /// A small configuration that always executes and validates.
+    pub fn validation(natoms: u32) -> Self {
+        HartreeFockConfig {
+            natoms,
+            ngauss: 3,
+            spacing: 2.0,
+            screening_tol: DEFAULT_SCREENING_TOL,
+            validate: true,
+        }
+    }
+
+    /// Whether the driver should execute the kernel functionally.
+    pub fn should_execute(&self) -> bool {
+        self.validate && self.natoms <= MAX_FUNCTIONAL_NATOMS
+    }
+
+    /// Number of unique atom pairs `(i ≤ j)`.
+    pub fn npairs(&self) -> u64 {
+        let n = u64::from(self.natoms);
+        n * (n + 1) / 2
+    }
+
+    /// Number of unique quartets `(ij ≤ kl)` before Schwarz screening.
+    pub fn nquartets(&self) -> u64 {
+        let p = self.npairs();
+        p * (p + 1) / 2
+    }
+
+    /// The (natoms, ngauss) combinations reported in Table 4.
+    pub fn paper_cases() -> [(u32, u32); 4] {
+        [(64, 3), (128, 3), (256, 3), (1024, 6)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_and_quartet_counts() {
+        let c = HartreeFockConfig::paper(4, 3);
+        assert_eq!(c.npairs(), 10);
+        assert_eq!(c.nquartets(), 55);
+        let big = HartreeFockConfig::paper(256, 3);
+        assert_eq!(big.npairs(), 256 * 257 / 2);
+        assert_eq!(big.nquartets(), 32_896 * 32_897 / 2);
+    }
+
+    #[test]
+    fn paper_configs_skip_functional_execution_for_large_systems() {
+        assert!(!HartreeFockConfig::paper(256, 3).should_execute());
+        assert!(!HartreeFockConfig::paper(64, 3).should_execute());
+        assert!(HartreeFockConfig::validation(16).should_execute());
+    }
+
+    #[test]
+    fn paper_cases_match_table4() {
+        assert_eq!(
+            HartreeFockConfig::paper_cases(),
+            [(64, 3), (128, 3), (256, 3), (1024, 6)]
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Triangular index arithmetic for the pair and quartet enumerations.
+//!
+//! The proxy app enumerates unique atom pairs `(i ≤ j)` and unique pairs of
+//! pairs `(ij ≤ kl)` with linear indices so the GPU can assign one quartet per
+//! thread. These helpers encode/decode those triangular indices and are the
+//! index math every implementation (portable, vendor, reference, cost model)
+//! shares.
+
+/// Number of unique pairs `(i ≤ j)` over `n` items.
+pub fn pair_count(n: u64) -> u64 {
+    n * (n + 1) / 2
+}
+
+/// Encodes a pair `(i, j)` with `i ≤ j` as a linear index.
+pub fn pair_encode(i: u64, j: u64) -> u64 {
+    debug_assert!(i <= j, "pair_encode requires i <= j");
+    j * (j + 1) / 2 + i
+}
+
+/// Decodes a linear pair index back into `(i, j)` with `i ≤ j`.
+pub fn pair_decode(index: u64) -> (u64, u64) {
+    // j is the triangular root of the index.
+    let j = (((8.0 * index as f64 + 1.0).sqrt() - 1.0) / 2.0).floor() as u64;
+    // Floating-point rounding can land one off; correct deterministically.
+    let j = correct_root(index, j);
+    let i = index - j * (j + 1) / 2;
+    (i, j)
+}
+
+/// Decodes a linear quartet index into the two pair indices `(ij, kl)` with
+/// `ij ≤ kl`.
+pub fn quartet_decode(index: u64) -> (u64, u64) {
+    let (ij, kl) = pair_decode(index);
+    (ij, kl)
+}
+
+fn correct_root(index: u64, mut j: u64) -> u64 {
+    while j * (j + 1) / 2 > index {
+        j -= 1;
+    }
+    while (j + 1) * (j + 2) / 2 <= index {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let n = 64u64;
+        let mut linear = 0u64;
+        for j in 0..n {
+            for i in 0..=j {
+                assert_eq!(pair_encode(i, j), linear);
+                assert_eq!(pair_decode(linear), (i, j));
+                linear += 1;
+            }
+        }
+        assert_eq!(linear, pair_count(n));
+    }
+
+    #[test]
+    fn quartet_decode_is_pair_decode_over_pairs() {
+        let npairs = pair_count(16);
+        let nquartets = pair_count(npairs);
+        // Spot-check a spread of indices, including the extremes.
+        for q in [0, 1, 17, npairs, nquartets / 2, nquartets - 1] {
+            let (ij, kl) = quartet_decode(q);
+            assert!(ij <= kl);
+            assert!(kl < npairs);
+            assert_eq!(pair_encode(ij, kl), q);
+        }
+    }
+
+    #[test]
+    fn decode_handles_large_indices_exactly() {
+        // 1024 atoms: npairs = 524,800; quartets ≈ 1.38e11. The float-based
+        // triangular root must stay exact after correction.
+        let npairs = pair_count(1024);
+        let last = pair_count(npairs) - 1;
+        let (ij, kl) = pair_decode(last);
+        assert_eq!(ij, npairs - 1);
+        assert_eq!(kl, npairs - 1);
+        let (i, j) = pair_decode(npairs - 1);
+        assert_eq!((i, j), (1023, 1023));
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 1);
+        assert_eq!(pair_count(4), 10);
+        assert_eq!(pair_count(256), 32_896);
+    }
+}

@@ -1,0 +1,142 @@
+//! Vendor-baseline (CUDA/HIP style) Hartree–Fock implementation.
+//!
+//! Mirrors the CUDA/HIP ports of the basic-hf-proxy the paper compares
+//! against: one thread per quartet on raw device buffers, `atomicAdd` on the
+//! Fock matrix, launched directly on the simulator without the portable layer.
+
+use super::config::HartreeFockConfig;
+use super::cost::hartree_fock_cost;
+use super::geometry::HeliumSystem;
+use super::reference::{quartet_eri, reference_fock};
+use super::triangular::pair_decode;
+use crate::common::{compare_slices, Verification, WorkloadRun};
+use gpu_sim::{launch_flat, Device, SimError};
+use vendor_models::{heuristics, KernelClass, Platform};
+
+/// Runs the vendor-baseline Hartree–Fock kernel on `platform`.
+pub fn run_vendor(
+    platform: &Platform,
+    config: &HartreeFockConfig,
+) -> Result<WorkloadRun, SimError> {
+    let system = HeliumSystem::generate(config);
+    let cost = hartree_fock_cost(config, &system);
+    let class = KernelClass::HartreeFock {
+        natoms: config.natoms,
+        ngauss: config.ngauss,
+    };
+    let profile = platform.execution_profile(&class);
+    let timing = platform.timing_model().estimate(&cost, &profile);
+
+    let verification = if config.should_execute() {
+        execute(platform, config, &system)?
+    } else {
+        Verification::Skipped {
+            reason: format!(
+                "natoms = {} exceeds the functional-execution limit; cost model only",
+                config.natoms
+            ),
+        }
+    };
+
+    Ok(WorkloadRun {
+        backend: profile.backend.clone(),
+        device: platform.spec.name.clone(),
+        kernel: "hartree_fock".to_string(),
+        cost,
+        profile,
+        timing,
+        verification,
+    })
+}
+
+fn execute(
+    platform: &Platform,
+    config: &HartreeFockConfig,
+    system: &HeliumSystem,
+) -> Result<Verification, SimError> {
+    let natoms = system.natoms;
+    let device = Device::new(platform.spec.clone());
+    let dens = device.alloc_from_host(&system.dens)?;
+    let fock = device.alloc::<f64>(natoms * natoms)?;
+    let schwarz = device.alloc_from_host(&system.schwarz)?;
+
+    let nquartets = config.nquartets();
+    let launch = heuristics::hartree_fock_launch(nquartets);
+    launch.validate(&platform.spec)?;
+    let tol = config.screening_tol;
+
+    let (fock_k, dens_k, schwarz_k) = (fock.clone(), dens.clone(), schwarz.clone());
+    launch_flat(&launch, move |t| {
+        let ijkl = t.global_x();
+        if ijkl >= nquartets {
+            return;
+        }
+        let (ij, kl) = pair_decode(ijkl);
+        if schwarz_k.read(ij as usize) * schwarz_k.read(kl as usize) <= tol {
+            return;
+        }
+        let eri = quartet_eri(system, ij, kl);
+        let (i, j) = pair_decode(ij);
+        let (k, l) = pair_decode(kl);
+        let (i, j, k, l) = (i as usize, j as usize, k as usize, l as usize);
+        let at = |a: usize, b: usize| a * natoms + b;
+        fock_k.atomic_add(at(i, j), dens_k.read(at(k, l)) * eri * 4.0);
+        fock_k.atomic_add(at(k, l), dens_k.read(at(i, j)) * eri * 4.0);
+        fock_k.atomic_add(at(i, k), dens_k.read(at(j, l)) * eri * -1.0);
+        fock_k.atomic_add(at(i, l), dens_k.read(at(j, k)) * eri * -1.0);
+        fock_k.atomic_add(at(j, k), dens_k.read(at(i, l)) * eri * -1.0);
+        fock_k.atomic_add(at(j, l), dens_k.read(at(i, k)) * eri * -1.0);
+    });
+
+    let expected = reference_fock(system, tol);
+    let actual = fock.copy_to_host();
+    match compare_slices(&actual, &expected, 1e-9) {
+        Ok(max_abs_error) => Ok(Verification::Passed { max_abs_error }),
+        Err(msg) => Err(SimError::InvalidParameter(format!(
+            "vendor Hartree-Fock verification failed: {msg}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuda_fock_matches_the_reference() {
+        let config = HartreeFockConfig::validation(10);
+        let run = run_vendor(&Platform::cuda_h100(false), &config).unwrap();
+        assert!(run.verification.is_verified());
+        assert_eq!(run.backend, "CUDA");
+    }
+
+    #[test]
+    fn hip_fock_matches_the_reference() {
+        let config = HartreeFockConfig::validation(12);
+        let run = run_vendor(&Platform::hip_mi300a(false), &config).unwrap();
+        assert!(run.verification.is_verified());
+        assert_eq!(run.backend, "HIP");
+    }
+
+    #[test]
+    fn cuda_duration_is_in_the_table4_ballpark_at_256_atoms() {
+        // Table 4: CUDA takes 472 ms for the 256-atom, ngauss = 3 system.
+        // Our survivor count depends on the synthetic lattice geometry, so
+        // only the order of magnitude is asserted here; the exact paper-vs-
+        // measured comparison lives in EXPERIMENTS.md.
+        let config = HartreeFockConfig::paper(256, 3);
+        let run = run_vendor(&Platform::cuda_h100(false), &config).unwrap();
+        assert!(
+            run.millis() > 40.0 && run.millis() < 5_000.0,
+            "CUDA 256-atom duration {:.1} ms out of expected range",
+            run.millis()
+        );
+    }
+
+    #[test]
+    fn portable_collapse_does_not_affect_the_vendor_baseline() {
+        let config = HartreeFockConfig::paper(1024, 6);
+        let run = run_vendor(&Platform::cuda_h100(false), &config).unwrap();
+        assert!((run.profile.atomic_throughput_factor - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! The four science proxy kernels evaluated in the paper.
+//!
+//! | Module | Workload | Character | Figure of merit |
+//! |---|---|---|---|
+//! | [`stencil7`] | seven-point Laplacian stencil | memory-bandwidth bound | effective bandwidth (Eq. 1) |
+//! | [`babelstream`] | BabelStream Copy/Mul/Add/Triad/Dot | memory-bandwidth bound | bandwidth (Eq. 2) |
+//! | [`minibude`] | miniBUDE `fasten` docking kernel | compute bound | GFLOP/s (Eq. 3) |
+//! | [`hartree_fock`] | Hartree–Fock electron repulsion | compute bound + atomics | kernel wall-clock |
+//!
+//! Each workload module provides:
+//!
+//! * a **portable** implementation written against the `portable-kernel` API
+//!   (the paper's Mojo port — one source for every simulated device),
+//! * **CUDA-style** and **HIP-style** baselines that bypass the portable layer
+//!   and use vendor launch heuristics, mirroring the paper's baseline codes,
+//! * a **CPU reference** used to validate every simulated result,
+//! * an analytic **cost model** (bytes, FLOPs, atomics) that the unit tests
+//!   cross-check against instrumented counts on small problems,
+//! * a host driver returning a [`common::WorkloadRun`] that the report and
+//!   bench crates turn into the paper's tables and figures.
+
+#![warn(missing_docs)]
+
+pub mod babelstream;
+pub mod common;
+pub mod hartree_fock;
+pub mod minibude;
+pub mod prelude;
+pub mod real;
+pub mod stencil7;
+
+pub use common::{Verification, WorkloadRun};
+pub use real::Real;

@@ -1,0 +1,108 @@
+//! Analytic launch cost of the fasten kernel.
+
+use super::config::MiniBudeConfig;
+use gpu_sim::stats::{AccessPattern, FlopCounts};
+use gpu_sim::KernelCost;
+use gpu_spec::Precision;
+use vendor_models::heuristics;
+
+/// FLOPs of one (ligand atom, protein atom) pair evaluation, classified for
+/// the timing model (the transcendental is the short-range exponential whose
+/// cost depends on fast-math availability).
+pub fn pair_flops() -> FlopCounts {
+    FlopCounts {
+        adds: 6,
+        muls: 6,
+        fmas: 2,
+        divs: 2,
+        sqrts: 1,
+        transcendentals: 1,
+    }
+}
+
+/// FLOPs of transforming one ligand atom into one pose's frame (9 FMAs for
+/// the rotation + translation; the sines/cosines are counted per pose).
+pub fn transform_flops() -> FlopCounts {
+    FlopCounts {
+        fmas: 9,
+        ..Default::default()
+    }
+}
+
+/// Builds the launch cost of a fasten run under `config`.
+pub fn fasten_cost(config: &MiniBudeConfig) -> KernelCost {
+    let nposes = config.nposes as u64;
+    let natlig = config.natlig as u64;
+    let natpro = config.natpro as u64;
+    let launch = heuristics::bude_launch(nposes, config.ppwi, config.wg);
+
+    let pair = pair_flops().scale(nposes * natlig * natpro);
+    let transform = transform_flops().scale(nposes * natlig);
+    let pose_setup = FlopCounts {
+        transcendentals: 6, // three sin/cos pairs per pose
+        ..Default::default()
+    }
+    .scale(nposes);
+    let flops = pair.combine(&transform).combine(&pose_setup);
+
+    // Traffic: pose transforms are streamed once; the molecule and force field
+    // are re-read per block (they fit in cache); energies are written once.
+    let transform_bytes = nposes * 6 * 4;
+    let molecule_bytes = (natlig + natpro) * 16 * launch.num_blocks();
+    let etotal_bytes = nposes * 4;
+
+    KernelCost::builder(
+        "fasten",
+        Precision::Fp32,
+        launch,
+        AccessPattern::ComputeTiled,
+    )
+    .dram_traffic(transform_bytes + molecule_bytes, etotal_bytes)
+    .flops(flops)
+    .loads_stores_per_thread(
+        (6 + (natlig + natpro) * 4) as f64 * config.ppwi as f64 / config.ppwi as f64,
+        config.ppwi as f64,
+    )
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_scale_with_the_pair_count() {
+        let small = fasten_cost(&MiniBudeConfig::validation(4, 8));
+        let large = fasten_cost(&MiniBudeConfig::paper(4, 8));
+        assert!(large.flops.total() > small.flops.total());
+        // bm1: 65,536 poses × 26 × 938 pairs ≈ 1.6e9 pair evaluations.
+        let pairs = 65_536u64 * 26 * 938;
+        assert!(large.flops.total() > pairs * 10);
+        assert!(large.flops.transcendentals >= pairs);
+    }
+
+    #[test]
+    fn kernel_is_compute_bound() {
+        let cost = fasten_cost(&MiniBudeConfig::paper(8, 64));
+        // Arithmetic intensity far beyond any GPU ridge point.
+        assert!(cost.arithmetic_intensity_dram() > 100.0);
+    }
+
+    #[test]
+    fn launch_shape_follows_ppwi_and_wg() {
+        let cost = fasten_cost(&MiniBudeConfig::paper(16, 64));
+        assert_eq!(cost.launch.threads_per_block(), 64);
+        assert_eq!(cost.launch.total_threads(), 65_536 / 16);
+        let cost8 = fasten_cost(&MiniBudeConfig::paper(8, 8));
+        assert_eq!(cost8.launch.threads_per_block(), 8);
+    }
+
+    #[test]
+    fn total_flops_are_nearly_ppwi_independent() {
+        // The total arithmetic depends on poses × atoms, not on how poses are
+        // grouped into work-items.
+        let a = fasten_cost(&MiniBudeConfig::paper(1, 64)).flops.total() as f64;
+        let b = fasten_cost(&MiniBudeConfig::paper(128, 64)).flops.total() as f64;
+        assert!((a / b - 1.0).abs() < 1e-9);
+    }
+}

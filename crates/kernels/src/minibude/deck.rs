@@ -1,0 +1,194 @@
+//! Synthetic miniBUDE deck generation.
+//!
+//! The original bm1 deck ships as binary files (ligand atoms, protein atoms,
+//! force-field parameters and 65,536 pose transforms). This module generates a
+//! deck with the same dimensions and physically plausible ranges from a seeded
+//! RNG, which preserves the kernel's arithmetic characteristics (the paper's
+//! metric, Eq. (3), depends only on the deck's sizes, not its contents).
+
+use super::config::MiniBudeConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One atom of the ligand or protein: position plus a force-field type index.
+/// The paper notes Mojo lacked plain-old-data GPU allocations for exactly this
+/// struct (3 × Float32 + 1 × Int), forcing the portable port to flatten it —
+/// we mirror that flattening in the portable kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Atom {
+    /// Position x (Å).
+    pub x: f32,
+    /// Position y (Å).
+    pub y: f32,
+    /// Position z (Å).
+    pub z: f32,
+    /// Index into the force-field parameter table.
+    pub type_index: u32,
+}
+
+/// Per-type force-field parameters used by the energy function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForceFieldParam {
+    /// Hard-sphere radius (Å).
+    pub radius: f32,
+    /// Hydrophobicity / hydrogen-bond strength.
+    pub hphb: f32,
+    /// Electrostatic charge.
+    pub charge: f32,
+}
+
+/// A complete docking deck: molecules, force field and pose transforms.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// Ligand atoms.
+    pub ligand: Vec<Atom>,
+    /// Protein atoms.
+    pub protein: Vec<Atom>,
+    /// Force-field parameter table.
+    pub forcefield: Vec<ForceFieldParam>,
+    /// Six pose-transform arrays (three rotations, three translations), each
+    /// of length `nposes`, mirroring `transforms_0 … transforms_5` in
+    /// Listing 4.
+    pub transforms: [Vec<f32>; 6],
+}
+
+/// Number of distinct force-field types in the synthetic deck.
+pub const NUM_FF_TYPES: usize = 8;
+
+impl Deck {
+    /// Generates the deck for a configuration.
+    pub fn generate(config: &MiniBudeConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let forcefield: Vec<ForceFieldParam> = (0..NUM_FF_TYPES)
+            .map(|_| ForceFieldParam {
+                radius: rng.gen_range(1.0..2.5),
+                hphb: rng.gen_range(-1.0..1.0),
+                charge: rng.gen_range(-0.5..0.5),
+            })
+            .collect();
+
+        // Ligand atoms cluster near the origin; protein atoms fill a larger box.
+        let ligand = (0..config.natlig)
+            .map(|_| Atom {
+                x: rng.gen_range(-4.0..4.0),
+                y: rng.gen_range(-4.0..4.0),
+                z: rng.gen_range(-4.0..4.0),
+                type_index: rng.gen_range(0..NUM_FF_TYPES as u32),
+            })
+            .collect();
+        let protein = (0..config.natpro)
+            .map(|_| Atom {
+                x: rng.gen_range(-24.0..24.0),
+                y: rng.gen_range(-24.0..24.0),
+                z: rng.gen_range(-24.0..24.0),
+                type_index: rng.gen_range(0..NUM_FF_TYPES as u32),
+            })
+            .collect();
+
+        // Rotations in [-π, π], translations within the protein box.
+        let transforms = std::array::from_fn(|axis| {
+            (0..config.nposes)
+                .map(|_| {
+                    if axis < 3 {
+                        rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI)
+                    } else {
+                        rng.gen_range(-10.0..10.0)
+                    }
+                })
+                .collect()
+        });
+
+        Deck {
+            ligand,
+            protein,
+            forcefield,
+            transforms,
+        }
+    }
+
+    /// The ligand flattened to 4 floats per atom (x, y, z, type-as-float),
+    /// the workaround the paper describes for the missing plain-old-data
+    /// support in Mojo's GPU allocations.
+    pub fn ligand_flat(&self) -> Vec<f32> {
+        Self::flatten(&self.ligand)
+    }
+
+    /// The protein flattened to 4 floats per atom.
+    pub fn protein_flat(&self) -> Vec<f32> {
+        Self::flatten(&self.protein)
+    }
+
+    /// The force field flattened to 3 floats per type (radius, hphb, charge).
+    pub fn forcefield_flat(&self) -> Vec<f32> {
+        self.forcefield
+            .iter()
+            .flat_map(|p| [p.radius, p.hphb, p.charge])
+            .collect()
+    }
+
+    fn flatten(atoms: &[Atom]) -> Vec<f32> {
+        atoms
+            .iter()
+            .flat_map(|a| [a.x, a.y, a.z, a.type_index as f32])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deck_has_the_configured_dimensions() {
+        let config = MiniBudeConfig::paper(4, 64);
+        let deck = Deck::generate(&config);
+        assert_eq!(deck.ligand.len(), 26);
+        assert_eq!(deck.protein.len(), 938);
+        assert_eq!(deck.forcefield.len(), NUM_FF_TYPES);
+        for t in &deck.transforms {
+            assert_eq!(t.len(), 65_536);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let config = MiniBudeConfig::validation(2, 8);
+        let a = Deck::generate(&config);
+        let b = Deck::generate(&config);
+        assert_eq!(a.ligand, b.ligand);
+        assert_eq!(a.protein, b.protein);
+        assert_eq!(a.transforms[3], b.transforms[3]);
+
+        let mut other = config;
+        other.seed += 1;
+        let c = Deck::generate(&other);
+        assert_ne!(a.ligand, c.ligand);
+    }
+
+    #[test]
+    fn flattening_uses_four_floats_per_atom() {
+        let config = MiniBudeConfig::validation(2, 8);
+        let deck = Deck::generate(&config);
+        assert_eq!(deck.ligand_flat().len(), deck.ligand.len() * 4);
+        assert_eq!(deck.protein_flat().len(), deck.protein.len() * 4);
+        assert_eq!(deck.forcefield_flat().len(), NUM_FF_TYPES * 3);
+        // Type indices survive the float round-trip.
+        let flat = deck.ligand_flat();
+        for (i, atom) in deck.ligand.iter().enumerate() {
+            assert_eq!(flat[i * 4 + 3] as u32, atom.type_index);
+        }
+    }
+
+    #[test]
+    fn atom_values_are_in_plausible_ranges() {
+        let config = MiniBudeConfig::paper(1, 8);
+        let deck = Deck::generate(&config);
+        for a in &deck.ligand {
+            assert!(a.x.abs() <= 4.0 && a.y.abs() <= 4.0 && a.z.abs() <= 4.0);
+            assert!((a.type_index as usize) < NUM_FF_TYPES);
+        }
+        for p in &deck.forcefield {
+            assert!(p.radius >= 1.0 && p.radius <= 2.5);
+        }
+    }
+}

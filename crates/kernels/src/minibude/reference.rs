@@ -1,0 +1,172 @@
+//! CPU golden reference for the fasten energy computation.
+//!
+//! Both GPU implementations (portable and vendor-style) must reproduce these
+//! energies exactly (the arithmetic is the same sequence of `f32` operations),
+//! which is how the drivers validate functional execution.
+
+use super::deck::Deck;
+
+/// Hard-sphere clash penalty strength.
+pub const HARDNESS: f32 = 38.0;
+/// Softening constant in the electrostatic denominator.
+pub const ELEC_SOFTEN: f32 = 1.0;
+/// Range parameter of the short-range attraction term.
+pub const ATTRACTION_RANGE: f32 = 0.05;
+/// Final scaling applied to each pose energy (the `* Half` of Listing 4).
+pub const HALF: f32 = 0.5;
+
+/// The rotation + translation of one pose applied to a point.
+#[inline]
+pub fn transform_point(pose: [f32; 6], x: f32, y: f32, z: f32) -> (f32, f32, f32) {
+    let (sx, cx) = pose[0].sin_cos();
+    let (sy, cy) = pose[1].sin_cos();
+    let (sz, cz) = pose[2].sin_cos();
+    // R = Rz(rz) · Ry(ry) · Rx(rx), applied to (x, y, z), then translated.
+    let r00 = cy * cz;
+    let r01 = sx * sy * cz - cx * sz;
+    let r02 = cx * sy * cz + sx * sz;
+    let r10 = cy * sz;
+    let r11 = sx * sy * sz + cx * cz;
+    let r12 = cx * sy * sz - sx * cz;
+    let r20 = -sy;
+    let r21 = sx * cy;
+    let r22 = cx * cy;
+    (
+        r00 * x + r01 * y + r02 * z + pose[3],
+        r10 * x + r11 * y + r12 * z + pose[4],
+        r20 * x + r21 * y + r22 * z + pose[5],
+    )
+}
+
+/// Interaction energy between one transformed ligand atom and one protein
+/// atom, given their force-field parameters `(radius, hphb, charge)`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn pair_energy(
+    lx: f32,
+    ly: f32,
+    lz: f32,
+    l_ff: (f32, f32, f32),
+    px: f32,
+    py: f32,
+    pz: f32,
+    p_ff: (f32, f32, f32),
+) -> f32 {
+    let dx = px - lx;
+    let dy = py - ly;
+    let dz = pz - lz;
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let r = r2.sqrt();
+    let radij = l_ff.0 + p_ff.0;
+
+    let mut e = 0.0f32;
+    // Steric clash penalty inside the combined radius.
+    if r < radij {
+        e += (1.0 - r / radij) * HARDNESS;
+    }
+    // Softened electrostatics.
+    e += l_ff.2 * p_ff.2 / (r + ELEC_SOFTEN);
+    // Short-range hydrophobic / hydrogen-bond attraction.
+    e -= l_ff.1 * p_ff.1 * (-r2 * ATTRACTION_RANGE).exp();
+    e
+}
+
+/// Energy of one pose: the sum of pair energies over every (ligand, protein)
+/// atom pair, scaled by [`HALF`].
+pub fn pose_energy(deck: &Deck, pose_index: usize) -> f32 {
+    let pose = [
+        deck.transforms[0][pose_index],
+        deck.transforms[1][pose_index],
+        deck.transforms[2][pose_index],
+        deck.transforms[3][pose_index],
+        deck.transforms[4][pose_index],
+        deck.transforms[5][pose_index],
+    ];
+    let mut etot = 0.0f32;
+    for lig in &deck.ligand {
+        let l_ff = deck.forcefield[lig.type_index as usize];
+        let (lx, ly, lz) = transform_point(pose, lig.x, lig.y, lig.z);
+        for pro in &deck.protein {
+            let p_ff = deck.forcefield[pro.type_index as usize];
+            etot += pair_energy(
+                lx,
+                ly,
+                lz,
+                (l_ff.radius, l_ff.hphb, l_ff.charge),
+                pro.x,
+                pro.y,
+                pro.z,
+                (p_ff.radius, p_ff.hphb, p_ff.charge),
+            );
+        }
+    }
+    etot * HALF
+}
+
+/// Reference energies of the first `count` poses.
+pub fn reference_energies(deck: &Deck, count: usize) -> Vec<f32> {
+    use rayon::prelude::*;
+    (0..count)
+        .into_par_iter()
+        .map(|p| pose_energy(deck, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minibude::config::MiniBudeConfig;
+
+    #[test]
+    fn identity_pose_leaves_points_unchanged() {
+        let (x, y, z) = transform_point([0.0; 6], 1.0, 2.0, 3.0);
+        assert!((x - 1.0).abs() < 1e-6);
+        assert!((y - 2.0).abs() < 1e-6);
+        assert!((z - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_preserves_distance_from_origin() {
+        let pose = [0.3, -1.2, 2.0, 0.0, 0.0, 0.0];
+        let (x, y, z) = transform_point(pose, 1.0, 2.0, 3.0);
+        let before = (1.0f32 + 4.0 + 9.0).sqrt();
+        let after = (x * x + y * y + z * z).sqrt();
+        assert!((before - after).abs() < 1e-4);
+    }
+
+    #[test]
+    fn translation_moves_points() {
+        let pose = [0.0, 0.0, 0.0, 5.0, -2.0, 1.0];
+        let (x, y, z) = transform_point(pose, 0.0, 0.0, 0.0);
+        assert_eq!((x, y, z), (5.0, -2.0, 1.0));
+    }
+
+    #[test]
+    fn overlapping_atoms_are_penalised() {
+        // Two atoms at the same point: a strong positive clash term.
+        let close = pair_energy(0.0, 0.0, 0.0, (1.5, 0.0, 0.0), 0.1, 0.0, 0.0, (1.5, 0.0, 0.0));
+        let far = pair_energy(0.0, 0.0, 0.0, (1.5, 0.0, 0.0), 30.0, 0.0, 0.0, (1.5, 0.0, 0.0));
+        assert!(close > 10.0);
+        assert!(far.abs() < 0.1);
+    }
+
+    #[test]
+    fn opposite_charges_attract() {
+        let attract = pair_energy(0.0, 0.0, 0.0, (0.1, 0.0, 0.5), 5.0, 0.0, 0.0, (0.1, 0.0, -0.5));
+        let repel = pair_energy(0.0, 0.0, 0.0, (0.1, 0.0, 0.5), 5.0, 0.0, 0.0, (0.1, 0.0, 0.5));
+        assert!(attract < 0.0);
+        assert!(repel > 0.0);
+    }
+
+    #[test]
+    fn reference_is_deterministic_and_finite() {
+        let config = MiniBudeConfig::validation(2, 8);
+        let deck = Deck::generate(&config);
+        let a = reference_energies(&deck, 16);
+        let b = reference_energies(&deck, 16);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|e| e.is_finite()));
+        // Different poses give different energies.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

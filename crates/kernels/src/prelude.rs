@@ -1,0 +1,7 @@
+//! Convenience prelude for users of the science kernels.
+
+pub use crate::babelstream::{self, BabelStreamConfig};
+pub use crate::common::{Verification, WorkloadRun};
+pub use crate::hartree_fock::{self, HartreeFockConfig};
+pub use crate::minibude::{self, MiniBudeConfig};
+pub use crate::stencil7::{self, StencilConfig};

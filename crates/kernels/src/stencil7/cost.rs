@@ -1,0 +1,86 @@
+//! Analytic launch cost of the seven-point stencil.
+
+use super::config::StencilConfig;
+use gpu_sim::stats::{AccessPattern, FlopCounts};
+use gpu_sim::KernelCost;
+use hpc_metrics::{stencil_fetch_bytes, stencil_write_bytes};
+use vendor_models::heuristics;
+
+/// Builds the launch cost of one stencil step under `config`.
+///
+/// DRAM traffic follows the paper's Eq. (1) (each cell value is fetched once
+/// and each interior cell written once, courtesy of the caches); L1 traffic
+/// counts the seven reads and one write each interior thread actually issues;
+/// L2 sits in between. FLOPs per interior cell: the kernel of Listing 2 does
+/// 6 additions and 4 multiplications.
+pub fn stencil_cost(config: &StencilConfig) -> KernelCost {
+    let l = config.l as u64;
+    let elem = config.precision.size_of() as u64;
+    let interior = config.interior_cells();
+    let launch = heuristics::stencil_launch(config.l as u32, config.block_x);
+
+    let fetch = stencil_fetch_bytes(l, config.precision);
+    let write = stencil_write_bytes(l, config.precision);
+    let l1_bytes = interior * 8 * elem; // 7 loads + 1 store per interior thread
+    let l2_bytes = interior * 4 * elem; // partial reuse between L1 and DRAM
+
+    KernelCost::builder(
+        "laplacian",
+        config.precision,
+        launch,
+        AccessPattern::Stencil3D,
+    )
+    .dram_traffic(fetch, write)
+    .l1_bytes(l1_bytes)
+    .l2_bytes(l2_bytes)
+    .flops(FlopCounts {
+        adds: interior * 6,
+        muls: interior * 4,
+        ..Default::default()
+    })
+    .loads_stores_per_thread(7.0, 1.0)
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::Precision;
+
+    #[test]
+    fn dram_traffic_matches_eq1() {
+        let config = StencilConfig::paper(512, Precision::Fp64);
+        let cost = stencil_cost(&config);
+        assert_eq!(cost.bytes_read, (512u64.pow(3) - 8 - 12 * 510) * 8);
+        assert_eq!(cost.bytes_written, 510u64.pow(3) * 8);
+    }
+
+    #[test]
+    fn arithmetic_intensities_are_ordered_like_table2() {
+        let config = StencilConfig::paper(512, Precision::Fp64);
+        let cost = stencil_cost(&config);
+        // Table 2 reports L1 ai 0.14, L2 ai 0.26, L3 ai 0.62 for this case.
+        assert!((cost.arithmetic_intensity_l1() - 0.14).abs() < 0.05);
+        assert!((cost.arithmetic_intensity_l2() - 0.26).abs() < 0.08);
+        assert!((cost.arithmetic_intensity_dram() - 0.62).abs() < 0.08);
+        assert!(cost.arithmetic_intensity_l1() < cost.arithmetic_intensity_l2());
+        assert!(cost.arithmetic_intensity_l2() < cost.arithmetic_intensity_dram());
+    }
+
+    #[test]
+    fn fp32_doubles_intensity() {
+        let f64cost = stencil_cost(&StencilConfig::paper(1024, Precision::Fp64));
+        let f32cost = stencil_cost(&StencilConfig::paper(1024, Precision::Fp32));
+        let ratio = f32cost.arithmetic_intensity_dram() / f64cost.arithmetic_intensity_dram();
+        assert!((ratio - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn launch_covers_the_grid() {
+        let config = StencilConfig::paper(512, Precision::Fp64);
+        let cost = stencil_cost(&config);
+        assert_eq!(cost.launch.total_threads(), 512u64.pow(3));
+        assert_eq!(cost.loads_per_thread, 7.0);
+        assert_eq!(cost.stores_per_thread, 1.0);
+    }
+}

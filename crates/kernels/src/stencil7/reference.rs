@@ -1,0 +1,130 @@
+//! CPU golden reference for the seven-point stencil.
+
+use super::config::StencilConfig;
+use rayon::prelude::*;
+
+/// Fills the input grid with a smooth, reproducible field:
+/// `u(i, j, k) = sin-free polynomial of the normalised coordinates`, matching
+/// what the baseline codes use to initialise their grids (any smooth field
+/// works because validation is bitwise against the same initialisation).
+pub fn initialize_grid(config: &StencilConfig) -> Vec<f64> {
+    let l = config.l;
+    let mut u = vec![0.0f64; l * l * l];
+    let denom = (l - 1) as f64;
+    u.par_chunks_mut(l * l).enumerate().for_each(|(i, plane)| {
+        let x = i as f64 / denom;
+        for j in 0..l {
+            let y = j as f64 / denom;
+            for k in 0..l {
+                let z = k as f64 / denom;
+                plane[j * l + k] = x * x + 2.0 * y * y + 3.0 * z * z + 0.5 * x * y * z;
+            }
+        }
+    });
+    u
+}
+
+/// Sequentially applies the seven-point Laplacian to interior cells, leaving
+/// the boundary untouched (zero), exactly as the GPU kernels do.
+pub fn reference_laplacian(config: &StencilConfig, u: &[f64]) -> Vec<f64> {
+    let l = config.l;
+    let (invhx2, invhy2, invhz2, invhxyz2) = config.coefficients();
+    let idx = |i: usize, j: usize, k: usize| (i * l + j) * l + k;
+    let mut f = vec![0.0f64; l * l * l];
+    for i in 1..l - 1 {
+        for j in 1..l - 1 {
+            for k in 1..l - 1 {
+                f[idx(i, j, k)] = u[idx(i, j, k)] * invhxyz2
+                    + (u[idx(i - 1, j, k)] + u[idx(i + 1, j, k)]) * invhx2
+                    + (u[idx(i, j - 1, k)] + u[idx(i, j + 1, k)]) * invhy2
+                    + (u[idx(i, j, k - 1)] + u[idx(i, j, k + 1)]) * invhz2;
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::Precision;
+
+    #[test]
+    fn constant_field_has_zero_laplacian() {
+        let config = StencilConfig::validation(12, Precision::Fp64);
+        let u = vec![5.0; 12 * 12 * 12];
+        let f = reference_laplacian(&config, &u);
+        for v in f {
+            assert!(v.abs() < 1e-6, "Laplacian of a constant must vanish, got {v}");
+        }
+    }
+
+    #[test]
+    fn linear_field_has_zero_laplacian() {
+        // u = x + 2y + 3z is harmonic; its Laplacian must vanish on interior cells.
+        let config = StencilConfig::validation(16, Precision::Fp64);
+        let l = config.l;
+        let mut u = vec![0.0; l * l * l];
+        for i in 0..l {
+            for j in 0..l {
+                for k in 0..l {
+                    u[(i * l + j) * l + k] = i as f64 + 2.0 * j as f64 + 3.0 * k as f64;
+                }
+            }
+        }
+        let f = reference_laplacian(&config, &u);
+        for v in f {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quadratic_field_has_constant_laplacian() {
+        // u = x² (in index space with h = 1) has ∇²u = 2 / h² at every interior cell.
+        let config = StencilConfig {
+            l: 10,
+            precision: Precision::Fp64,
+            block_x: 8,
+            spacing: 1.0,
+            validate: true,
+        };
+        let l = config.l;
+        let mut u = vec![0.0; l * l * l];
+        for i in 0..l {
+            for j in 0..l {
+                for k in 0..l {
+                    u[(i * l + j) * l + k] = (i as f64) * (i as f64);
+                }
+            }
+        }
+        let f = reference_laplacian(&config, &u);
+        let idx = |i: usize, j: usize, k: usize| (i * l + j) * l + k;
+        for i in 1..l - 1 {
+            for j in 1..l - 1 {
+                for k in 1..l - 1 {
+                    assert!((f[idx(i, j, k)] - 2.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_cells_are_untouched() {
+        let config = StencilConfig::validation(8, Precision::Fp64);
+        let u = initialize_grid(&config);
+        let f = reference_laplacian(&config, &u);
+        let l = config.l;
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[(l * l * l) - 1], 0.0);
+    }
+
+    #[test]
+    fn initialization_is_deterministic_and_smooth() {
+        let config = StencilConfig::validation(16, Precision::Fp64);
+        let a = initialize_grid(&config);
+        let b = initialize_grid(&config);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
+        assert!(a.iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests on the kernels' index math, screening counts and
+//! physical invariants.
+
+use proptest::prelude::*;
+use science_kernels::hartree_fock::{pair_count, pair_decode, pair_encode, surviving_quartets};
+use science_kernels::minibude::{Atom, Deck, ForceFieldParam, MiniBudeConfig};
+use science_kernels::stencil7::{reference_laplacian, StencilConfig};
+use gpu_spec::Precision;
+
+/// Brute-force counterpart of the two-pointer screening count.
+fn brute_force_survivors(schwarz: &[f64], tol: f64) -> u64 {
+    let mut count = 0;
+    for ij in 0..schwarz.len() {
+        for kl in ij..schwarz.len() {
+            if schwarz[ij] * schwarz[kl] > tol {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    /// Triangular pair encoding is a bijection for arbitrary (i <= j).
+    #[test]
+    fn pair_encoding_round_trips(j in 0u64..2000, offset in 0u64..2000) {
+        let i = offset.min(j);
+        let index = pair_encode(i, j);
+        prop_assert!(index < pair_count(j + 1));
+        prop_assert_eq!(pair_decode(index), (i, j));
+    }
+
+    /// The O(n log n) Schwarz survivor count equals the brute-force count for
+    /// arbitrary non-negative factor sets and thresholds.
+    #[test]
+    fn screening_count_matches_brute_force(
+        factors in proptest::collection::vec(0.0f64..2.0, 1..80),
+        tol in 0.0f64..2.0,
+    ) {
+        prop_assert_eq!(
+            surviving_quartets(&factors, tol),
+            brute_force_survivors(&factors, tol)
+        );
+    }
+
+    /// The seven-point Laplacian of any affine field is zero on interior cells
+    /// (an exact discrete identity, independent of grid size or coefficients).
+    #[test]
+    fn laplacian_annihilates_affine_fields(
+        l in 4usize..16,
+        a in -5.0f64..5.0, b in -5.0f64..5.0, c in -5.0f64..5.0, d in -5.0f64..5.0,
+    ) {
+        let config = StencilConfig::validation(l, Precision::Fp64);
+        let mut u = vec![0.0; l * l * l];
+        for i in 0..l {
+            for j in 0..l {
+                for k in 0..l {
+                    u[(i * l + j) * l + k] = a * i as f64 + b * j as f64 + c * k as f64 + d;
+                }
+            }
+        }
+        let f = reference_laplacian(&config, &u);
+        let scale = (a.abs() + b.abs() + c.abs() + d.abs() + 1.0) / config.spacing.powi(2);
+        for v in f {
+            prop_assert!(v.abs() <= 1e-9 * scale);
+        }
+    }
+
+    /// Pair interaction energy is symmetric under exchanging the two atoms'
+    /// roles when their force-field parameters are identical.
+    #[test]
+    fn pair_energy_is_symmetric_for_identical_types(
+        x in -10.0f32..10.0, y in -10.0f32..10.0, z in -10.0f32..10.0,
+        radius in 0.5f32..2.5, hphb in -1.0f32..1.0, charge in -0.5f32..0.5,
+    ) {
+        use science_kernels::minibude::pair_energy;
+        let ff = (radius, hphb, charge);
+        let forward = pair_energy(0.0, 0.0, 0.0, ff, x, y, z, ff);
+        let backward = pair_energy(x, y, z, ff, 0.0, 0.0, 0.0, ff);
+        prop_assert!((forward - backward).abs() <= 1e-4 * forward.abs().max(1.0));
+    }
+
+    /// Deck generation honours arbitrary (sane) configuration sizes.
+    #[test]
+    fn deck_generation_matches_config(natlig in 1usize..32, natpro in 1usize..128, nposes in 1usize..512, seed in 0u64..1000) {
+        let config = MiniBudeConfig {
+            ppwi: 1,
+            wg: 8,
+            natlig,
+            natpro,
+            nposes,
+            executed_poses: nposes,
+            seed,
+        }.normalised();
+        let deck = Deck::generate(&config);
+        prop_assert_eq!(deck.ligand.len(), natlig);
+        prop_assert_eq!(deck.protein.len(), natpro);
+        prop_assert!(deck.transforms.iter().all(|t| t.len() == nposes));
+        let check = |a: &Atom| a.type_index as usize <= deck.forcefield.len();
+        prop_assert!(deck.ligand.iter().all(check));
+        let in_range = |p: &ForceFieldParam| p.radius > 0.0;
+        prop_assert!(deck.forcefield.iter().all(in_range));
+    }
+}

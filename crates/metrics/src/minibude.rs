@@ -1,0 +1,110 @@
+//! miniBUDE GFLOP/s — the paper's Eq. (3).
+//!
+//! ```text
+//! ops_workgroup = 28·PPWI + nligands·[2 + 18·PPWI + nproteins·(10 + 30·PPWI)]
+//! total_ops     = ops_workgroup · poses / PPWI
+//! GFLOP/s       = total_ops / kernel_time · 1e-9
+//! ```
+//!
+//! The formula comes from the original miniBUDE baseline and counts the
+//! floating-point work of the `fasten` kernel per work-group of PPWI poses.
+
+use serde::{Deserialize, Serialize};
+
+/// The problem sizes entering Eq. (3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiniBudeSizes {
+    /// Number of ligand atoms (26 in the bm1 benchmark).
+    pub nligands: u64,
+    /// Number of protein atoms (938 in bm1).
+    pub nproteins: u64,
+    /// Total number of poses evaluated (65,536 in the paper's runs).
+    pub poses: u64,
+    /// Poses per work-item.
+    pub ppwi: u64,
+}
+
+impl MiniBudeSizes {
+    /// The bm1 benchmark deck used throughout the paper, with the given PPWI.
+    pub fn bm1(ppwi: u64) -> Self {
+        MiniBudeSizes {
+            nligands: 26,
+            nproteins: 938,
+            poses: 65_536,
+            ppwi,
+        }
+    }
+}
+
+/// Floating-point operations per work-group — the bracketed part of Eq. (3).
+pub fn minibude_ops_per_workgroup(sizes: &MiniBudeSizes) -> u64 {
+    28 * sizes.ppwi
+        + sizes.nligands * (2 + 18 * sizes.ppwi + sizes.nproteins * (10 + 30 * sizes.ppwi))
+}
+
+/// Total floating-point operations for the whole run — Eq. (3).
+pub fn minibude_total_ops(sizes: &MiniBudeSizes) -> u64 {
+    minibude_ops_per_workgroup(sizes) * (sizes.poses / sizes.ppwi)
+}
+
+/// GFLOP/s achieved by a run that took `kernel_time_s` seconds — Eq. (3).
+pub fn minibude_gflops(sizes: &MiniBudeSizes, kernel_time_s: f64) -> f64 {
+    assert!(kernel_time_s > 0.0, "kernel time must be positive");
+    minibude_total_ops(sizes) as f64 / kernel_time_s * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_formula_matches_eq3_by_hand() {
+        // PPWI = 1: 28 + 26·(2 + 18 + 938·40) = 28 + 26·37540 = 976068.
+        let sizes = MiniBudeSizes {
+            nligands: 26,
+            nproteins: 938,
+            poses: 65_536,
+            ppwi: 1,
+        };
+        assert_eq!(minibude_ops_per_workgroup(&sizes), 28 + 26 * (2 + 18 + 938 * 40));
+        assert_eq!(
+            minibude_total_ops(&sizes),
+            minibude_ops_per_workgroup(&sizes) * 65_536
+        );
+    }
+
+    #[test]
+    fn total_ops_are_nearly_ppwi_independent() {
+        // Eq. (3) divides poses by PPWI while ops/workgroup grows ~linearly in
+        // PPWI, so the total is nearly constant — the dominant nproteins·30·PPWI
+        // term cancels exactly.
+        let t1 = minibude_total_ops(&MiniBudeSizes::bm1(1)) as f64;
+        let t128 = minibude_total_ops(&MiniBudeSizes::bm1(128)) as f64;
+        assert!((t1 / t128 - 1.0).abs() < 0.4, "t1={t1}, t128={t128}");
+    }
+
+    #[test]
+    fn bm1_preset_matches_paper_parameters() {
+        let s = MiniBudeSizes::bm1(4);
+        assert_eq!(s.nligands, 26);
+        assert_eq!(s.nproteins, 938);
+        assert_eq!(s.poses, 65_536);
+        assert_eq!(s.ppwi, 4);
+    }
+
+    #[test]
+    fn gflops_scale_inversely_with_time() {
+        let sizes = MiniBudeSizes::bm1(8);
+        let slow = minibude_gflops(&sizes, 2e-3);
+        let fast = minibude_gflops(&sizes, 1e-3);
+        assert!((fast / slow - 2.0).abs() < 1e-12);
+        // ~48 GFLOP of work in 1 ms ≈ 48 TFLOP/s order of magnitude.
+        assert!(fast > 10_000.0 && fast < 100_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_panics() {
+        minibude_gflops(&MiniBudeSizes::bm1(1), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Effective bandwidth of the seven-point stencil — the paper's Eq. (1).
+//!
+//! For a cubic grid of side `L` and element size `sizeof(T)`:
+//!
+//! ```text
+//! fetch_size_effective = (L³ − 8 − 12(L−2)) · sizeof(T)
+//! write_size_effective = (L−2)³ · sizeof(T)
+//! bandwidth_effective  = (fetch + write) / kernel_time
+//! ```
+//!
+//! The fetch term discounts the 8 corner and 12·(L−2) edge cells that the
+//! interior-only stencil never reads; the write term covers exactly the
+//! interior cells.
+
+use gpu_spec::Precision;
+
+/// Effective fetched bytes for a seven-point stencil step on an `l`³ grid.
+pub fn stencil_fetch_bytes(l: u64, precision: Precision) -> u64 {
+    let cells = l * l * l - 8 - 12 * (l - 2);
+    cells * precision.size_of() as u64
+}
+
+/// Effective written bytes for a seven-point stencil step on an `l`³ grid.
+pub fn stencil_write_bytes(l: u64, precision: Precision) -> u64 {
+    let interior = (l - 2).pow(3);
+    interior * precision.size_of() as u64
+}
+
+/// Effective bandwidth in GB/s (decimal) for one stencil step that took
+/// `kernel_time_s` seconds — Eq. (1).
+pub fn stencil_bandwidth_gbs(l: u64, precision: Precision, kernel_time_s: f64) -> f64 {
+    assert!(kernel_time_s > 0.0, "kernel time must be positive");
+    let bytes = (stencil_fetch_bytes(l, precision) + stencil_write_bytes(l, precision)) as f64;
+    bytes / kernel_time_s / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_and_write_sizes_follow_eq1() {
+        // L = 512, FP64: fetch = (512³ − 8 − 12·510)·8, write = 510³·8.
+        let l = 512u64;
+        assert_eq!(
+            stencil_fetch_bytes(l, Precision::Fp64),
+            (l * l * l - 8 - 12 * 510) * 8
+        );
+        assert_eq!(stencil_write_bytes(l, Precision::Fp64), 510u64.pow(3) * 8);
+        // FP32 is exactly half the bytes.
+        assert_eq!(
+            stencil_fetch_bytes(l, Precision::Fp32) * 2,
+            stencil_fetch_bytes(l, Precision::Fp64)
+        );
+    }
+
+    #[test]
+    fn bandwidth_is_bytes_over_time() {
+        let l = 512u64;
+        let time = 1e-3;
+        let expected = (stencil_fetch_bytes(l, Precision::Fp64)
+            + stencil_write_bytes(l, Precision::Fp64)) as f64
+            / time
+            / 1e9;
+        let got = stencil_bandwidth_gbs(l, Precision::Fp64, time);
+        assert!((got - expected).abs() < 1e-9);
+        // ~2.11 GB in 1 ms ≈ 2110 GB/s.
+        assert!(got > 2000.0 && got < 2300.0);
+    }
+
+    #[test]
+    fn halving_time_doubles_bandwidth() {
+        let a = stencil_bandwidth_gbs(1024, Precision::Fp32, 2e-3);
+        let b = stencil_bandwidth_gbs(1024, Precision::Fp32, 1e-3);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_panics() {
+        stencil_bandwidth_gbs(64, Precision::Fp32, 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Runtime data-type descriptors, mirroring Mojo's `DType`.
+//!
+//! Mojo kernels name their element type through a compile-time `DType`
+//! alias (`alias dtype = DType.float64`). The Rust analogue is the generic
+//! parameter on buffers and tensors; [`DType`] exists for the places where a
+//! runtime description is needed (experiment manifests, reports, CSV output).
+
+use gpu_spec::Precision;
+use gpu_sim::memory::DeviceScalar;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A runtime element-type descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (`DType.float32`).
+    Float32,
+    /// 64-bit IEEE-754 float (`DType.float64`).
+    Float64,
+    /// 32-bit signed integer (`DType.int32`).
+    Int32,
+    /// 32-bit unsigned integer (`DType.uint32`).
+    UInt32,
+}
+
+impl DType {
+    /// The `DType` describing a compile-time scalar type.
+    pub fn of<T: DeviceScalar>() -> Option<DType> {
+        match (T::SIZE_BYTES, T::precision()) {
+            (4, Some(Precision::Fp32)) => Some(DType::Float32),
+            (8, Some(Precision::Fp64)) => Some(DType::Float64),
+            _ => None,
+        }
+    }
+
+    /// Size of one element in bytes.
+    pub fn size_of(&self) -> usize {
+        match self {
+            DType::Float32 | DType::Int32 | DType::UInt32 => 4,
+            DType::Float64 => 8,
+        }
+    }
+
+    /// The floating-point precision this type corresponds to, if any.
+    pub fn precision(&self) -> Option<Precision> {
+        match self {
+            DType::Float32 => Some(Precision::Fp32),
+            DType::Float64 => Some(Precision::Fp64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::Float32 => "float32",
+            DType::Float64 => "float64",
+            DType::Int32 => "int32",
+            DType::UInt32 => "uint32",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_precisions() {
+        assert_eq!(DType::Float32.size_of(), 4);
+        assert_eq!(DType::Float64.size_of(), 8);
+        assert_eq!(DType::Int32.size_of(), 4);
+        assert_eq!(DType::Float32.precision(), Some(Precision::Fp32));
+        assert_eq!(DType::Float64.precision(), Some(Precision::Fp64));
+        assert_eq!(DType::Int32.precision(), None);
+    }
+
+    #[test]
+    fn of_maps_rust_scalars() {
+        assert_eq!(DType::of::<f32>(), Some(DType::Float32));
+        assert_eq!(DType::of::<f64>(), Some(DType::Float64));
+        assert_eq!(DType::of::<u64>(), None);
+    }
+
+    #[test]
+    fn display_matches_mojo_names() {
+        assert_eq!(DType::Float64.to_string(), "float64");
+        assert_eq!(DType::UInt32.to_string(), "uint32");
+    }
+}

@@ -1,0 +1,12 @@
+//! Convenience prelude: everything a portable kernel needs in one import,
+//! mirroring the handful of modules a Mojo GPU program pulls in
+//! (`gpu.host`, `gpu.id`, `layout`, `memory`).
+
+pub use crate::atomic::Atomic;
+pub use crate::context::DeviceContext;
+pub use crate::dtype::DType;
+pub use crate::layout::Layout;
+pub use crate::simd::Simd;
+pub use crate::tensor::{HostTensor, LayoutTensor};
+pub use gpu_sim::memory::{DeviceBuffer, DeviceScalar};
+pub use gpu_sim::{CoopKernel, Dim3, LaunchConfig, PhaseOutcome, SimError, ThreadCtx};

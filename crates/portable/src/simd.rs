@@ -1,0 +1,195 @@
+//! Fixed-width SIMD value type, mirroring Mojo's `SIMD[dtype, width]`.
+//!
+//! The miniBUDE port in the paper (Listing 4) accumulates per-pose energies in
+//! a `SIMD[dtype, PPWI]` register vector: one lane per pose handled by the
+//! work-item. [`Simd`] reproduces that idiom with const generics; arithmetic
+//! is element-wise and the type is `Copy`, so kernels treat it exactly like a
+//! scalar register file.
+
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
+
+/// A fixed-width vector of `N` lanes of `f32`.
+///
+/// Only the `f32` element type is provided because that is what miniBUDE uses;
+/// widening to a generic element type would be mechanical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Simd<const N: usize> {
+    lanes: [f32; N],
+}
+
+impl<const N: usize> Default for Simd<N> {
+    fn default() -> Self {
+        Simd { lanes: [0.0; N] }
+    }
+}
+
+impl<const N: usize> Simd<N> {
+    /// A vector with every lane set to zero (Mojo's `SIMD[dtype, PPWI]()`).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A vector with every lane set to `value`.
+    pub fn splat(value: f32) -> Self {
+        Simd { lanes: [value; N] }
+    }
+
+    /// Builds a vector from an array of lane values.
+    pub fn from_array(lanes: [f32; N]) -> Self {
+        Simd { lanes }
+    }
+
+    /// The number of lanes.
+    pub const fn width(&self) -> usize {
+        N
+    }
+
+    /// The lane values as an array.
+    pub fn to_array(&self) -> [f32; N] {
+        self.lanes
+    }
+
+    /// Sum of all lanes.
+    pub fn reduce_add(&self) -> f32 {
+        self.lanes.iter().sum()
+    }
+
+    /// Element-wise multiply-accumulate: `self += a * b`.
+    pub fn fma_assign(&mut self, a: Simd<N>, b: Simd<N>) {
+        for i in 0..N {
+            self.lanes[i] += a.lanes[i] * b.lanes[i];
+        }
+    }
+
+    /// Element-wise maximum with a scalar.
+    pub fn max_scalar(&self, value: f32) -> Simd<N> {
+        let mut out = *self;
+        for lane in out.lanes.iter_mut() {
+            *lane = lane.max(value);
+        }
+        out
+    }
+
+    /// Applies `f` to every lane.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Simd<N> {
+        let mut out = *self;
+        for lane in out.lanes.iter_mut() {
+            *lane = f(*lane);
+        }
+        out
+    }
+}
+
+impl<const N: usize> Add for Simd<N> {
+    type Output = Simd<N>;
+    fn add(self, rhs: Simd<N>) -> Simd<N> {
+        let mut out = self;
+        for i in 0..N {
+            out.lanes[i] += rhs.lanes[i];
+        }
+        out
+    }
+}
+
+impl<const N: usize> AddAssign for Simd<N> {
+    fn add_assign(&mut self, rhs: Simd<N>) {
+        for i in 0..N {
+            self.lanes[i] += rhs.lanes[i];
+        }
+    }
+}
+
+impl<const N: usize> Sub for Simd<N> {
+    type Output = Simd<N>;
+    fn sub(self, rhs: Simd<N>) -> Simd<N> {
+        let mut out = self;
+        for i in 0..N {
+            out.lanes[i] -= rhs.lanes[i];
+        }
+        out
+    }
+}
+
+impl<const N: usize> Mul for Simd<N> {
+    type Output = Simd<N>;
+    fn mul(self, rhs: Simd<N>) -> Simd<N> {
+        let mut out = self;
+        for i in 0..N {
+            out.lanes[i] *= rhs.lanes[i];
+        }
+        out
+    }
+}
+
+impl<const N: usize> Mul<f32> for Simd<N> {
+    type Output = Simd<N>;
+    fn mul(self, rhs: f32) -> Simd<N> {
+        let mut out = self;
+        for lane in out.lanes.iter_mut() {
+            *lane *= rhs;
+        }
+        out
+    }
+}
+
+impl<const N: usize> Index<usize> for Simd<N> {
+    type Output = f32;
+    fn index(&self, index: usize) -> &f32 {
+        &self.lanes[index]
+    }
+}
+
+impl<const N: usize> IndexMut<usize> for Simd<N> {
+    fn index_mut(&mut self, index: usize) -> &mut f32 {
+        &mut self.lanes[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_width() {
+        let z = Simd::<4>::zero();
+        assert_eq!(z.to_array(), [0.0; 4]);
+        assert_eq!(z.width(), 4);
+        let s = Simd::<4>::splat(2.5);
+        assert_eq!(s.to_array(), [2.5; 4]);
+        let a = Simd::<3>::from_array([1.0, 2.0, 3.0]);
+        assert_eq!(a[2], 3.0);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Simd::<4>::from_array([1.0, 2.0, 3.0, 4.0]);
+        let b = Simd::<4>::splat(2.0);
+        assert_eq!((a + b).to_array(), [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a - b).to_array(), [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!((a * b).to_array(), [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a * 3.0).to_array(), [3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn add_assign_and_fma() {
+        let mut acc = Simd::<2>::zero();
+        acc += Simd::from_array([1.0, 2.0]);
+        acc.fma_assign(Simd::splat(3.0), Simd::from_array([1.0, 2.0]));
+        assert_eq!(acc.to_array(), [4.0, 8.0]);
+    }
+
+    #[test]
+    fn reductions_and_maps() {
+        let a = Simd::<4>::from_array([1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.reduce_add(), -2.0);
+        assert_eq!(a.max_scalar(0.0).to_array(), [1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(a.map(|x| x * x).to_array(), [1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn index_mut_updates_lane() {
+        let mut a = Simd::<2>::zero();
+        a[1] = 9.0;
+        assert_eq!(a.to_array(), [0.0, 9.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 7 — miniBUDE GFLOP/s vs PPWI on the AMD MI300A:
+//! Mojo vs HIP with and without fast-math, for work-group sizes 8 and 64.
+
+use super::fig6::sweep;
+use crate::render::Series;
+use crate::report::ExperimentReport;
+use hpc_metrics::output::CsvTable;
+use science_kernels::minibude::MiniBudeConfig;
+use vendor_models::Platform;
+
+/// Backends compared on the MI300A in Figure 7.
+pub fn mi300a_backends() -> Vec<Platform> {
+    vec![
+        Platform::portable_mi300a(),
+        Platform::hip_mi300a(true),
+        Platform::hip_mi300a(false),
+    ]
+}
+
+/// Regenerates Figure 7 (both work-group sizes).
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "miniBUDE GFLOP/s (Eq. 3) vs PPWI on the AMD MI300A, bm1 deck",
+    );
+    let mut csv = CsvTable::new(["device", "backend", "wg", "ppwi", "gflops"]);
+    for wg in MiniBudeConfig::paper_wg_values() {
+        report.push_line(format!("Figure 7 (wg = {wg})"));
+        let series = sweep(&mi300a_backends(), wg, &mut csv);
+        report.push_line(Series::render_group(&series, "GF/s", 40));
+    }
+    report.push_table("gflops", csv);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_mojo_underperforms_both_hip_variants() {
+        let mut csv = CsvTable::new(["device", "backend", "wg", "ppwi", "gflops"]);
+        for wg in [8u32, 64] {
+            let series = sweep(&mi300a_backends(), wg, &mut csv);
+            // series[0] = Mojo, [1] = HIP fast-math, [2] = HIP.
+            for i in 0..series[0].points.len() {
+                let mojo = series[0].points[i].1;
+                assert!(series[1].points[i].1 > mojo, "HIP-ff should beat Mojo (wg {wg})");
+                assert!(series[2].points[i].1 > mojo, "HIP should beat Mojo (wg {wg})");
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_efficiency_matches_table5_band() {
+        // Table 5: miniBUDE efficiency on the MI300A is 0.38 for both listed
+        // configurations; allow a generous band around it.
+        let mut csv = CsvTable::new(["device", "backend", "wg", "ppwi", "gflops"]);
+        let series = sweep(&mi300a_backends(), 64, &mut csv);
+        let eff = series[0].points[2].1 / series[1].points[2].1; // PPWI = 4
+        assert!((0.25..=0.5).contains(&eff), "MI300A efficiency {eff}");
+    }
+
+    #[test]
+    fn fig7_report_structure() {
+        let report = run();
+        assert!(report.text.contains("Figure 7 (wg = 8)"));
+        assert!(report.text.contains("Figure 7 (wg = 64)"));
+        assert!(report.text.contains("HIP fast-math"));
+        assert_eq!(report.tables[0].1.rows.len(), 48);
+    }
+}

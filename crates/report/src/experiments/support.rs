@@ -1,0 +1,115 @@
+//! Helpers shared by the experiment modules: the platform sets each figure
+//! compares and figure-of-merit extraction from workload runs.
+
+use hpc_metrics::{babelstream_bandwidth_gbs, minibude_gflops, stencil_bandwidth_gbs, BabelStreamOp, MiniBudeSizes};
+use science_kernels::babelstream::BabelStreamConfig;
+use science_kernels::minibude::MiniBudeConfig;
+use science_kernels::stencil7::StencilConfig;
+use science_kernels::WorkloadRun;
+use vendor_models::kernel_class::StreamOp;
+use vendor_models::Platform;
+
+/// Number of repeated (jittered) measurements per configuration, mirroring
+/// the paper's "at least 100 runs".
+pub const RUNS_PER_CONFIG: usize = 100;
+
+/// Relative run-to-run spread used for the stencil scatter plots (the paper
+/// notes visible variability for this kernel).
+pub const STENCIL_JITTER: f64 = 0.035;
+
+/// Relative run-to-run spread for BabelStream (the paper notes much less
+/// variability thanks to the simple 1-D access pattern).
+pub const STREAM_JITTER: f64 = 0.008;
+
+/// The portable-vs-vendor platform pairs compared on each device.
+pub fn h100_pair() -> (Platform, Platform) {
+    (Platform::portable_h100(), Platform::cuda_h100(false))
+}
+
+/// The portable-vs-vendor platform pair on the MI300A.
+pub fn mi300a_pair() -> (Platform, Platform) {
+    (Platform::portable_mi300a(), Platform::hip_mi300a(false))
+}
+
+/// Effective stencil bandwidth (Eq. 1) of a run in GB/s.
+pub fn stencil_fom(run: &WorkloadRun, config: &StencilConfig) -> f64 {
+    stencil_bandwidth_gbs(config.l as u64, config.precision, run.seconds())
+}
+
+/// Effective BabelStream bandwidth (Eq. 2) of a run in GB/s.
+pub fn stream_fom(run: &WorkloadRun, op: StreamOp, config: &BabelStreamConfig) -> f64 {
+    babelstream_bandwidth_gbs(
+        to_metric_op(op),
+        config.n as u64,
+        config.precision,
+        run.seconds(),
+    )
+}
+
+/// miniBUDE GFLOP/s (Eq. 3) of a run.
+pub fn bude_fom(run: &WorkloadRun, config: &MiniBudeConfig) -> f64 {
+    let sizes = MiniBudeSizes {
+        nligands: config.natlig as u64,
+        nproteins: config.natpro as u64,
+        poses: config.nposes as u64,
+        ppwi: config.ppwi as u64,
+    };
+    minibude_gflops(&sizes, run.seconds())
+}
+
+/// Maps the kernel-side operation enum onto the metric-side one.
+pub fn to_metric_op(op: StreamOp) -> BabelStreamOp {
+    match op {
+        StreamOp::Copy => BabelStreamOp::Copy,
+        StreamOp::Mul => BabelStreamOp::Mul,
+        StreamOp::Add => BabelStreamOp::Add,
+        StreamOp::Triad => BabelStreamOp::Triad,
+        StreamOp::Dot => BabelStreamOp::Dot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::Precision;
+
+    #[test]
+    fn platform_pairs_are_portable_vs_native() {
+        let (mojo, cuda) = h100_pair();
+        assert!(mojo.backend.is_portable());
+        assert!(cuda.is_vendor_baseline());
+        let (mojo, hip) = mi300a_pair();
+        assert!(mojo.backend.is_portable());
+        assert!(hip.is_vendor_baseline());
+    }
+
+    #[test]
+    fn stream_op_mapping_is_total_and_consistent() {
+        for op in StreamOp::ALL {
+            assert_eq!(to_metric_op(op).label(), op.label());
+        }
+    }
+
+    #[test]
+    fn figures_of_merit_are_positive() {
+        let config = StencilConfig::paper(512, Precision::Fp64);
+        let run = science_kernels::stencil7::run(&Platform::cuda_h100(false), &config).unwrap();
+        assert!(stencil_fom(&run, &config) > 100.0);
+
+        let sconfig = BabelStreamConfig::paper(Precision::Fp64);
+        let srun = science_kernels::babelstream::run(
+            &Platform::portable_h100(),
+            StreamOp::Triad,
+            &sconfig,
+        )
+        .unwrap();
+        assert!(stream_fom(&srun, StreamOp::Triad, &sconfig) > 1000.0);
+
+        let bconfig = MiniBudeConfig {
+            executed_poses: 0,
+            ..MiniBudeConfig::paper(8, 64)
+        };
+        let brun = science_kernels::minibude::run(&Platform::cuda_h100(true), &bconfig).unwrap();
+        assert!(bude_fom(&brun, &bconfig) > 100.0);
+    }
+}

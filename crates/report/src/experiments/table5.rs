@@ -1,0 +1,134 @@
+//! Table 5 — the performance-portability metric Φ per proxy application.
+
+use super::{fig3, fig4, fig6, fig7, table4};
+use crate::report::ExperimentReport;
+use gpu_spec::Precision;
+use hpc_metrics::output::CsvTable;
+use hpc_metrics::{efficiency, PortabilityTable};
+use science_kernels::stencil7::StencilConfig;
+use vendor_models::kernel_class::StreamOp;
+use vendor_models::Platform;
+
+/// Builds all four application blocks of Table 5.
+pub fn portability_tables() -> Vec<PortabilityTable> {
+    let (mojo_h100, cuda) = (Platform::portable_h100(), Platform::cuda_h100(false));
+    let (mojo_mi, hip) = (Platform::portable_mi300a(), Platform::hip_mi300a(false));
+
+    // 7-point stencil: FP32 and FP64 bandwidth ratios (L = 512).
+    let mut stencil = PortabilityTable::new("7-point stencil");
+    for precision in [Precision::Fp32, Precision::Fp64] {
+        let config = StencilConfig::paper(512, precision);
+        stencil.push(
+            precision.label(),
+            Some(fig3::efficiency(&mojo_h100, &cuda, &config)),
+            Some(fig3::efficiency(&mojo_mi, &hip, &config)),
+        );
+    }
+
+    // BabelStream: per-operation bandwidth ratios.
+    let mut stream = PortabilityTable::new("BabelStream");
+    for op in StreamOp::ALL {
+        stream.push(
+            op.label(),
+            Some(fig4::efficiency(&mojo_h100, &cuda, op)),
+            Some(fig4::efficiency(&mojo_mi, &hip, op)),
+        );
+    }
+
+    // miniBUDE: the two configurations Table 5 lists, against the fast-math
+    // vendor baselines (the best vendor result).
+    let mut bude = PortabilityTable::new("miniBUDE");
+    {
+        let mut csv = CsvTable::new(["device", "backend", "wg", "ppwi", "gflops"]);
+        let h100 = fig6::sweep(&fig6::h100_backends(), 8, &mut csv);
+        let mi300a = fig6::sweep(&fig7::mi300a_backends(), 8, &mut csv);
+        // PPWI = 8 is index 3 of the sweep.
+        bude.push(
+            "PPWI=8 wg=8",
+            Some(h100[0].points[3].1 / h100[1].points[3].1),
+            Some(mi300a[0].points[3].1 / mi300a[1].points[3].1),
+        );
+        let mut csv = CsvTable::new(["device", "backend", "wg", "ppwi", "gflops"]);
+        let h100 = fig6::sweep(&fig6::h100_backends(), 64, &mut csv);
+        let mi300a = fig6::sweep(&fig7::mi300a_backends(), 64, &mut csv);
+        // PPWI = 4 is index 2 of the sweep.
+        bude.push(
+            "PPWI=4 wg=64",
+            Some(h100[0].points[2].1 / h100[1].points[2].1),
+            Some(mi300a[0].points[2].1 / mi300a[1].points[2].1),
+        );
+    }
+
+    // Hartree-Fock: wall-clock ratios (lower is better, so invert).
+    let mut hf = PortabilityTable::new("Hartree-Fock");
+    for row in table4::rows() {
+        let label = format!("a={} ngauss={}", row.natoms, row.ngauss);
+        let nvidia = efficiency(row.mojo_h100_ms, row.cuda_ms, false);
+        // The paper's Table 5 omits the AMD entry for the 1024-atom case.
+        let amd = if row.natoms <= 256 {
+            Some(efficiency(row.mojo_mi300a_ms, row.hip_ms, false))
+        } else {
+            None
+        };
+        hf.push(label, Some(nvidia), amd);
+    }
+
+    vec![stencil, stream, bude, hf]
+}
+
+/// Regenerates Table 5.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new("table5", "Mojo performance-portability metric (Eq. 4)");
+    let mut csv = CsvTable::new(["application", "configuration", "nvidia_efficiency", "amd_efficiency", "phi"]);
+    for table in portability_tables() {
+        report.push_line(table.to_string());
+        report.push_line("");
+        let phi = table.phi().unwrap_or(f64::NAN);
+        for entry in &table.entries {
+            csv.push_row([
+                table.application.clone(),
+                entry.label.clone(),
+                entry.nvidia.map(|v| v.to_string()).unwrap_or_default(),
+                entry.amd.map(|v| v.to_string()).unwrap_or_default(),
+                format!("{phi}"),
+            ]);
+        }
+    }
+    report.push_table("portability", csv);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_phi_values_track_the_paper() {
+        let tables = portability_tables();
+        let phi_of = |name: &str| {
+            tables
+                .iter()
+                .find(|t| t.application == name)
+                .and_then(|t| t.phi())
+                .unwrap()
+        };
+        // Paper: stencil Φ = 0.92, BabelStream Φ = 0.96 (we land near 0.98
+        // because the paper's published entries are rounded), miniBUDE Φ = 0.54.
+        assert!((phi_of("7-point stencil") - 0.92).abs() < 0.03);
+        assert!((phi_of("BabelStream") - 0.96).abs() < 0.04);
+        assert!((phi_of("miniBUDE") - 0.54).abs() < 0.12);
+        // Hartree-Fock: dominated by the >2 NVIDIA entries and near-zero AMD
+        // entries, just like the paper's Φ = 0.92 ("can be misleading").
+        let hf = phi_of("Hartree-Fock");
+        assert!(hf > 0.5 && hf < 2.0, "Hartree-Fock Φ = {hf}");
+    }
+
+    #[test]
+    fn table5_report_contains_every_application_block() {
+        let report = run();
+        for app in ["7-point stencil", "BabelStream", "miniBUDE", "Hartree-Fock"] {
+            assert!(report.text.contains(app), "missing {app}");
+        }
+        assert!(report.text.contains("Φ ="));
+    }
+}

@@ -1,0 +1,132 @@
+//! The experiment registry: stable identifiers and a dispatcher.
+
+use crate::experiments;
+use crate::report::ExperimentReport;
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of one reproducible paper element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Table 1/6 — hardware.
+    Table1,
+    /// Figure 2 — roofline.
+    Fig2,
+    /// Figure 3 — stencil bandwidth.
+    Fig3,
+    /// Table 2 — stencil NCU profile.
+    Table2,
+    /// Figure 4 — BabelStream bandwidth.
+    Fig4,
+    /// Table 3 — BabelStream NCU profile.
+    Table3,
+    /// Figure 5 — Triad instruction mix.
+    Fig5,
+    /// Figure 6 — miniBUDE on the H100.
+    Fig6,
+    /// Figure 7 — miniBUDE on the MI300A.
+    Fig7,
+    /// Table 4 — Hartree-Fock wall-clock.
+    Table4,
+    /// Table 5 — performance portability Φ.
+    Table5,
+}
+
+impl ExperimentId {
+    /// Every experiment in presentation order.
+    pub const ALL: [ExperimentId; 11] = [
+        ExperimentId::Table1,
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Table2,
+        ExperimentId::Fig4,
+        ExperimentId::Table3,
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+    ];
+
+    /// The stable string id ("table2", "fig4", …).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExperimentId::Table1 => "table1",
+            ExperimentId::Fig2 => "fig2",
+            ExperimentId::Fig3 => "fig3",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Table3 => "table3",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Table4 => "table4",
+            ExperimentId::Table5 => "table5",
+        }
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ExperimentId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExperimentId::ALL
+            .iter()
+            .copied()
+            .find(|id| id.as_str() == s)
+            .ok_or_else(|| format!("unknown experiment id '{s}'"))
+    }
+}
+
+/// Runs one experiment.
+pub fn run_experiment(id: ExperimentId) -> ExperimentReport {
+    match id {
+        ExperimentId::Table1 => experiments::table1::run(),
+        ExperimentId::Fig2 => experiments::fig2::run(),
+        ExperimentId::Fig3 => experiments::fig3::run(),
+        ExperimentId::Table2 => experiments::table2::run(),
+        ExperimentId::Fig4 => experiments::fig4::run(),
+        ExperimentId::Table3 => experiments::table3::run(),
+        ExperimentId::Fig5 => experiments::fig5::run(),
+        ExperimentId::Fig6 => experiments::fig6::run(),
+        ExperimentId::Fig7 => experiments::fig7::run(),
+        ExperimentId::Table4 => experiments::table4::run(),
+        ExperimentId::Table5 => experiments::table5::run(),
+    }
+}
+
+/// Runs every experiment in presentation order.
+pub fn all_experiments() -> Vec<ExperimentReport> {
+    ExperimentId::ALL.iter().map(|&id| run_experiment(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_strings() {
+        for id in ExperimentId::ALL {
+            let parsed: ExperimentId = id.as_str().parse().unwrap();
+            assert_eq!(parsed, id);
+            assert_eq!(id.to_string(), id.as_str());
+        }
+        assert!("table9".parse::<ExperimentId>().is_err());
+    }
+
+    #[test]
+    fn registry_covers_every_paper_element() {
+        assert_eq!(ExperimentId::ALL.len(), 11);
+        // Quick experiments dispatch and produce ids matching the registry.
+        for id in [ExperimentId::Table1, ExperimentId::Fig5] {
+            let report = run_experiment(id);
+            assert_eq!(report.id, id.as_str());
+            assert!(!report.text.is_empty());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure series: named (x, y) sequences with a compact console rendering.
+//!
+//! The paper's figures are scatter/bar/line plots; in a terminal we render
+//! each series as labelled rows plus a proportional bar so relative
+//! magnitudes — the thing the figures exist to show — are visible at a glance.
+
+/// One named data series of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series label (e.g. "Mojo", "CUDA fast-math").
+    pub label: String,
+    /// `(x label, y value)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+
+    /// Largest y value in the series (0 for an empty series).
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(0.0, f64::max)
+    }
+
+    /// Renders a set of series as labelled bars normalised to the global
+    /// maximum, `width` characters wide.
+    pub fn render_group(series: &[Series], unit: &str, width: usize) -> String {
+        let global_max = series.iter().map(Series::max_y).fold(0.0, f64::max);
+        let mut out = String::new();
+        for s in series {
+            out.push_str(&format!("{}\n", s.label));
+            for (x, y) in &s.points {
+                let bar_len = if global_max > 0.0 {
+                    ((y / global_max) * width as f64).round() as usize
+                } else {
+                    0
+                };
+                out.push_str(&format!(
+                    "  {:<18} {:>12.2} {:<5} |{}\n",
+                    x,
+                    y,
+                    unit,
+                    "#".repeat(bar_len)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates_points_and_tracks_max() {
+        let mut s = Series::new("Mojo");
+        s.push("Copy", 2657.0);
+        s.push("Dot", 2100.0);
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.max_y(), 2657.0);
+        assert_eq!(Series::new("empty").max_y(), 0.0);
+    }
+
+    #[test]
+    fn render_group_scales_bars_to_the_global_maximum() {
+        let mut a = Series::new("Mojo");
+        a.push("Copy", 100.0);
+        let mut b = Series::new("CUDA");
+        b.push("Copy", 50.0);
+        let out = Series::render_group(&[a, b], "GB/s", 20);
+        assert!(out.contains("Mojo"));
+        assert!(out.contains("CUDA"));
+        let lines: Vec<_> = out.lines().collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert_eq!(bars, vec![20, 10]);
+    }
+}

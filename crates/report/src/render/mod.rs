@@ -1,0 +1,7 @@
+//! Console renderers for tables and figure series.
+
+mod figure;
+mod table;
+
+pub use figure::Series;
+pub use table::AsciiTable;

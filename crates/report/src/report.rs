@@ -1,0 +1,86 @@
+//! The output type every experiment produces.
+
+use hpc_metrics::output::{self, CsvTable};
+use std::path::PathBuf;
+
+/// The result of regenerating one table or figure.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Stable identifier ("table2", "fig4", …).
+    pub id: String,
+    /// Human-readable title mirroring the paper's caption.
+    pub title: String,
+    /// Console rendering (the rows/series the paper reports).
+    pub text: String,
+    /// Named CSV tables with the underlying data.
+    pub tables: Vec<(String, CsvTable)>,
+}
+
+impl ExperimentReport {
+    /// Creates a report with no CSV payload yet.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            text: String::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Appends a line to the console rendering.
+    pub fn push_line(&mut self, line: impl AsRef<str>) {
+        self.text.push_str(line.as_ref());
+        self.text.push('\n');
+    }
+
+    /// Attaches a CSV table.
+    pub fn push_table(&mut self, name: impl Into<String>, table: CsvTable) {
+        self.tables.push((name.into(), table));
+    }
+
+    /// Writes every attached CSV under `target/experiments/<id>_<name>.csv`
+    /// and returns the written paths.
+    pub fn write_csv_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut paths = Vec::new();
+        for (name, table) in &self.tables {
+            paths.push(output::write_csv(&format!("{}_{}", self.id, name), table)?);
+        }
+        Ok(paths)
+    }
+
+    /// The full console rendering including the title banner.
+    pub fn render(&self) -> String {
+        format!("=== {} — {} ===\n{}", self.id, self.title, self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_lines_and_tables() {
+        let mut r = ExperimentReport::new("table9", "An example");
+        r.push_line("row 1");
+        r.push_line("row 2");
+        let mut csv = CsvTable::new(["a"]);
+        csv.push_row(["1"]);
+        r.push_table("data", csv);
+        assert_eq!(r.tables.len(), 1);
+        let rendered = r.render();
+        assert!(rendered.contains("table9"));
+        assert!(rendered.contains("row 1\nrow 2\n"));
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let mut r = ExperimentReport::new("unit-test-report", "tmp");
+        let mut csv = CsvTable::new(["x", "y"]);
+        csv.push_row(["1", "2"]);
+        r.push_table("points", csv);
+        let paths = r.write_csv_files().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].exists());
+        std::fs::remove_file(&paths[0]).ok();
+    }
+}

@@ -1,0 +1,61 @@
+//! BabelStream sweep: all five operations on every platform at the paper's
+//! 2^25-element size, plus a smaller fully-validated pass (the workload behind
+//! Figure 4 and Table 3).
+//!
+//! Run with `cargo run --release --example babelstream_sweep`.
+
+use mojo_hpc::kernels::babelstream::{self, BabelStreamConfig};
+use mojo_hpc::metrics::{babelstream_bandwidth_gbs, BabelStreamOp};
+use mojo_hpc::spec::Precision;
+use mojo_hpc::vendor::kernel_class::StreamOp;
+use mojo_hpc::vendor::Platform;
+
+fn to_metric(op: StreamOp) -> BabelStreamOp {
+    match op {
+        StreamOp::Copy => BabelStreamOp::Copy,
+        StreamOp::Mul => BabelStreamOp::Mul,
+        StreamOp::Add => BabelStreamOp::Add,
+        StreamOp::Triad => BabelStreamOp::Triad,
+        StreamOp::Dot => BabelStreamOp::Dot,
+    }
+}
+
+fn main() {
+    let config = BabelStreamConfig::paper(Precision::Fp64);
+    println!(
+        "BabelStream, n = 2^25 = {} FP64 elements (Eq. 2 bandwidth):\n",
+        config.n
+    );
+    for platform in [
+        Platform::portable_h100(),
+        Platform::cuda_h100(false),
+        Platform::portable_mi300a(),
+        Platform::hip_mi300a(false),
+    ] {
+        println!("{}", platform.label());
+        for op in StreamOp::ALL {
+            let run = babelstream::run(&platform, op, &config).expect("babelstream run");
+            let bw = babelstream_bandwidth_gbs(
+                to_metric(op),
+                config.n as u64,
+                config.precision,
+                run.seconds(),
+            );
+            println!(
+                "  {:<6} {:>9.3} ms   {:>8.0} GB/s",
+                op.label(),
+                run.millis(),
+                bw
+            );
+        }
+    }
+
+    // A fully validated smaller pass: the numerics of every kernel, including
+    // the shared-memory Dot reduction, are checked against closed forms.
+    println!("\nValidated pass (n = 2^20, FP32):");
+    let small = BabelStreamConfig::validation(1 << 20, Precision::Fp32);
+    for op in StreamOp::ALL {
+        let run = babelstream::run(&Platform::portable_mi300a(), op, &small).expect("run");
+        println!("  {:<6} {:?}", op.label(), run.verification);
+    }
+}

@@ -1,0 +1,59 @@
+//! In-silico molecular docking with the miniBUDE fasten kernel: the PPWI /
+//! work-group sweep behind the paper's Figures 6 and 7, plus a validated
+//! docking pass that reports the best poses it found.
+//!
+//! Run with `cargo run --release --example molecular_docking`.
+
+use mojo_hpc::kernels::minibude::{self, Deck, MiniBudeConfig};
+use mojo_hpc::metrics::{minibude_gflops, MiniBudeSizes};
+use mojo_hpc::vendor::Platform;
+
+fn main() {
+    // ------------------------------------------------------------- GFLOP/s sweep
+    println!("miniBUDE fasten, bm1 deck (Eq. 3 GFLOP/s), work-group = 64:\n");
+    println!(
+        "{:<24} {:>6} {:>12} {:>12} {:>12}",
+        "", "PPWI", "Mojo", "CUDA -ff", "CUDA"
+    );
+    for ppwi in MiniBudeConfig::paper_ppwi_sweep() {
+        let config = MiniBudeConfig {
+            executed_poses: 0,
+            ..MiniBudeConfig::paper(ppwi, 64)
+        };
+        let sizes = MiniBudeSizes::bm1(u64::from(ppwi));
+        let gflops = |platform: &Platform| {
+            let run = minibude::run(platform, &config).expect("fasten run");
+            minibude_gflops(&sizes, run.seconds())
+        };
+        println!(
+            "{:<24} {:>6} {:>12.0} {:>12.0} {:>12.0}",
+            "NVIDIA H100",
+            ppwi,
+            gflops(&Platform::portable_h100()),
+            gflops(&Platform::cuda_h100(true)),
+            gflops(&Platform::cuda_h100(false)),
+        );
+    }
+
+    // --------------------------------------------------------- a real docking run
+    // Execute a small deck functionally, validate against the CPU reference,
+    // and report the lowest-energy poses — what a docking user actually wants.
+    println!("\nValidated docking pass (512 poses, portable backend on the MI300A):");
+    let mut config = MiniBudeConfig::paper(4, 64);
+    config.natlig = 16;
+    config.natpro = 256;
+    config.nposes = 512;
+    config.executed_poses = 512;
+    let config = config.normalised();
+    let run = minibude::run(&Platform::portable_mi300a(), &config).expect("docking run");
+    println!("  verification: {:?}", run.verification);
+
+    let deck = Deck::generate(&config);
+    let all = minibude::reference_energies(&deck, config.executed_poses);
+    let mut energies: Vec<(usize, f32)> = all.into_iter().enumerate().collect();
+    energies.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("  best poses (lowest interaction energy):");
+    for (pose, energy) in energies.iter().take(5) {
+        println!("    pose {pose:>4}  energy {energy:>10.3}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's full evaluation: every table and figure, printed
+//! to the console and exported as CSV under `target/experiments/`.
+//!
+//! Run with `cargo run --release --example portability_report`.
+//! Pass experiment ids (e.g. `table4 fig6`) to regenerate a subset.
+
+use mojo_hpc::report::{all_experiments, run_experiment, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reports = if args.is_empty() {
+        all_experiments()
+    } else {
+        args.iter()
+            .map(|arg| {
+                let id: ExperimentId = arg.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    eprintln!(
+                        "known ids: {}",
+                        ExperimentId::ALL
+                            .iter()
+                            .map(|i| i.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                });
+                run_experiment(id)
+            })
+            .collect()
+    };
+
+    for report in reports {
+        println!("{}", report.render());
+        match report.write_csv_files() {
+            Ok(paths) => {
+                for path in paths {
+                    println!("  [csv] {}", path.display());
+                }
+            }
+            Err(err) => eprintln!("  failed to write CSV for {}: {err}", report.id),
+        }
+        println!();
+    }
+}

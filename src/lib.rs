@@ -1,0 +1,34 @@
+//! `mojo-hpc` — umbrella crate re-exporting the whole reproduction stack.
+//!
+//! This is the crate downstream users depend on. It re-exports:
+//!
+//! * [`spec`] — hardware descriptions of the evaluated GPUs (H100 NVL, MI300A),
+//! * [`sim`] — the deterministic GPU simulator the kernels execute on,
+//! * [`portable`] — the Mojo-analog performance-portable kernel API
+//!   (the paper's primary contribution),
+//! * [`vendor`] — the CUDA-like and HIP-like baseline codegen/launch models,
+//! * [`kernels`] — the four science proxy kernels (seven-point stencil,
+//!   BabelStream, miniBUDE, Hartree–Fock),
+//! * [`metrics`] — the paper's figures of merit (Eqs. 1–4) and roofline math,
+//! * [`report`] — the experiment registry regenerating every table and figure.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for the
+//! full system inventory.
+
+pub use experiment_report as report;
+pub use gpu_sim as sim;
+pub use gpu_spec as spec;
+pub use hpc_metrics as metrics;
+pub use portable_kernel as portable;
+pub use science_kernels as kernels;
+pub use vendor_models as vendor;
+
+/// Convenience prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use experiment_report::prelude::*;
+    pub use gpu_spec::{presets, GpuSpec, Precision, Vendor};
+    pub use hpc_metrics::portability::PortabilityTable;
+    pub use portable_kernel::prelude::*;
+    pub use science_kernels::prelude::*;
+    pub use vendor_models::{Backend, Platform};
+}

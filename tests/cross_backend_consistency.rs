@@ -1,0 +1,91 @@
+//! Cross-crate integration tests: the portable implementation and the vendor
+//! baselines must produce the same numerics on every workload, on every
+//! simulated device, because they verify against the same CPU references.
+
+use mojo_hpc::kernels::{babelstream, hartree_fock, minibude, stencil7};
+use mojo_hpc::spec::Precision;
+use mojo_hpc::vendor::kernel_class::StreamOp;
+use mojo_hpc::vendor::Platform;
+
+fn all_platforms() -> Vec<Platform> {
+    vec![
+        Platform::portable_h100(),
+        Platform::cuda_h100(false),
+        Platform::cuda_h100(true),
+        Platform::portable_mi300a(),
+        Platform::hip_mi300a(false),
+        Platform::hip_mi300a(true),
+    ]
+}
+
+#[test]
+fn stencil_verifies_on_every_platform_and_precision() {
+    for platform in all_platforms() {
+        for precision in [Precision::Fp32, Precision::Fp64] {
+            let config = stencil7::StencilConfig::validation(28, precision);
+            let run = stencil7::run(&platform, &config).expect("stencil run");
+            assert!(
+                run.verification.is_verified(),
+                "{} {precision} stencil failed verification",
+                platform.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn babelstream_verifies_on_every_platform() {
+    let config = babelstream::BabelStreamConfig::validation(1 << 13, Precision::Fp64);
+    for platform in all_platforms() {
+        for op in StreamOp::ALL {
+            let run = babelstream::run(&platform, op, &config).expect("babelstream run");
+            assert!(
+                run.verification.is_verified(),
+                "{} {op} failed verification",
+                platform.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn minibude_verifies_on_every_platform() {
+    let config = minibude::MiniBudeConfig::validation(4, 16);
+    for platform in all_platforms() {
+        let run = minibude::run(&platform, &config).expect("fasten run");
+        assert!(
+            run.verification.is_verified(),
+            "{} fasten failed verification",
+            platform.label()
+        );
+    }
+}
+
+#[test]
+fn hartree_fock_verifies_on_every_platform() {
+    let config = hartree_fock::HartreeFockConfig::validation(10);
+    for platform in all_platforms() {
+        let run = hartree_fock::run(&platform, &config).expect("hartree-fock run");
+        assert!(
+            run.verification.is_verified(),
+            "{} hartree-fock failed verification",
+            platform.label()
+        );
+    }
+}
+
+#[test]
+fn portable_source_is_identical_across_vendors() {
+    // The defining property of the portable model: the same configuration and
+    // the same portable code path run on both devices and verify on both. The
+    // *performance* differs (that is the paper's subject) but the results and
+    // the cost description do not.
+    let config = stencil7::StencilConfig::validation(24, Precision::Fp64);
+    let h100 = stencil7::run(&Platform::portable_h100(), &config).unwrap();
+    let mi300a = stencil7::run(&Platform::portable_mi300a(), &config).unwrap();
+    assert!(h100.verification.is_verified());
+    assert!(mi300a.verification.is_verified());
+    assert_eq!(h100.cost.total_bytes(), mi300a.cost.total_bytes());
+    assert_eq!(h100.cost.flops, mi300a.cost.flops);
+    assert_eq!(h100.backend, mi300a.backend);
+}

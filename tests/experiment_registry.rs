@@ -1,0 +1,42 @@
+//! Integration test: every experiment in the registry runs end-to-end and
+//! produces console output plus CSV data.
+
+use mojo_hpc::report::{run_experiment, ExperimentId};
+
+#[test]
+fn every_registered_experiment_produces_output() {
+    // fig3/fig6/fig7/table5 are exercised by their own unit tests and by the
+    // bench harness; here we spot-check a representative subset end-to-end so
+    // the integration test stays fast in debug builds.
+    for id in [
+        ExperimentId::Table1,
+        ExperimentId::Fig2,
+        ExperimentId::Table2,
+        ExperimentId::Fig4,
+        ExperimentId::Table3,
+        ExperimentId::Fig5,
+        ExperimentId::Table4,
+    ] {
+        let report = run_experiment(id);
+        assert_eq!(report.id, id.as_str());
+        assert!(!report.text.trim().is_empty(), "{id} produced no text");
+        assert!(
+            !report.tables.is_empty(),
+            "{id} produced no CSV tables"
+        );
+        for (_, table) in &report.tables {
+            assert!(!table.rows.is_empty(), "{id} CSV has no rows");
+        }
+    }
+}
+
+#[test]
+fn experiment_csv_files_land_in_the_experiments_directory() {
+    let report = run_experiment(ExperimentId::Table1);
+    let paths = report.write_csv_files().expect("write CSVs");
+    assert!(!paths.is_empty());
+    for path in paths {
+        assert!(path.exists());
+        assert!(path.to_string_lossy().contains("experiments"));
+    }
+}
