@@ -6,9 +6,7 @@ use experiment_report::ExperimentId;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5");
-    group.bench_function("instruction_mix_comparison", |b| {
-        b.iter(fig5::comparison)
-    });
+    group.bench_function("instruction_mix_comparison", |b| b.iter(fig5::comparison));
     group.finish();
 }
 

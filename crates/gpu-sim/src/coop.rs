@@ -69,44 +69,46 @@ impl CoopLaunch {
         let block = cfg.block;
         let threads_per_block = cfg.threads_per_block() as usize;
 
-        (0..cfg.num_blocks()).into_par_iter().for_each(|block_linear| {
-            let (bx, by, bz) = grid.delinearize(block_linear);
-            let block_idx = Dim3::new(bx, by, bz);
+        (0..cfg.num_blocks())
+            .into_par_iter()
+            .for_each(|block_linear| {
+                let (bx, by, bz) = grid.delinearize(block_linear);
+                let block_idx = Dim3::new(bx, by, bz);
 
-            let mut shared = vec![K::Shared::default(); kernel.shared_len(block)];
-            let mut states: Vec<K::ThreadState> = (0..threads_per_block)
-                .map(|_| K::ThreadState::default())
-                .collect();
-            let mut done = vec![false; threads_per_block];
-            let mut remaining = threads_per_block;
+                let mut shared = vec![K::Shared::default(); kernel.shared_len(block)];
+                let mut states: Vec<K::ThreadState> = (0..threads_per_block)
+                    .map(|_| K::ThreadState::default())
+                    .collect();
+                let mut done = vec![false; threads_per_block];
+                let mut remaining = threads_per_block;
 
-            let mut phase = 0usize;
-            while remaining > 0 {
-                assert!(
-                    phase < MAX_PHASES,
-                    "cooperative kernel did not converge within {MAX_PHASES} phases"
-                );
-                for thread_linear in 0..threads_per_block {
-                    if done[thread_linear] {
-                        continue;
+                let mut phase = 0usize;
+                while remaining > 0 {
+                    assert!(
+                        phase < MAX_PHASES,
+                        "cooperative kernel did not converge within {MAX_PHASES} phases"
+                    );
+                    for thread_linear in 0..threads_per_block {
+                        if done[thread_linear] {
+                            continue;
+                        }
+                        let (tx, ty, tz) = block.delinearize(thread_linear as u64);
+                        let ctx = ThreadCtx {
+                            thread_idx: Dim3::new(tx, ty, tz),
+                            block_idx,
+                            block_dim: block,
+                            grid_dim: grid,
+                        };
+                        let outcome =
+                            kernel.phase(phase, ctx, &mut states[thread_linear], &mut shared);
+                        if outcome == PhaseOutcome::Done {
+                            done[thread_linear] = true;
+                            remaining -= 1;
+                        }
                     }
-                    let (tx, ty, tz) = block.delinearize(thread_linear as u64);
-                    let ctx = ThreadCtx {
-                        thread_idx: Dim3::new(tx, ty, tz),
-                        block_idx,
-                        block_dim: block,
-                        grid_dim: grid,
-                    };
-                    let outcome =
-                        kernel.phase(phase, ctx, &mut states[thread_linear], &mut shared);
-                    if outcome == PhaseOutcome::Done {
-                        done[thread_linear] = true;
-                        remaining -= 1;
-                    }
+                    phase += 1;
                 }
-                phase += 1;
-            }
-        });
+            });
     }
 }
 
@@ -233,8 +235,7 @@ mod tests {
             state.count += 1;
             // Thread t finishes after t+1 phases.
             if state.count > ctx.thread_idx.x {
-                self.output
-                    .write(ctx.global_x() as usize, state.count);
+                self.output.write(ctx.global_x() as usize, state.count);
                 PhaseOutcome::Done
             } else {
                 PhaseOutcome::Continue

@@ -16,7 +16,9 @@ use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 /// Scalar element types that can live in simulated device memory.
-pub trait DeviceScalar: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+pub trait DeviceScalar:
+    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
+{
     /// Size of one element in bytes.
     const SIZE_BYTES: usize;
     /// The floating-point precision this type corresponds to, if any.

@@ -75,7 +75,10 @@ impl ExecutionProfile {
     /// Validates that efficiencies are in `(0, 1]` and costs are sane.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.mem_efficiency) || self.mem_efficiency == 0.0 {
-            return Err(format!("mem_efficiency {} not in (0,1]", self.mem_efficiency));
+            return Err(format!(
+                "mem_efficiency {} not in (0,1]",
+                self.mem_efficiency
+            ));
         }
         if !(0.0..=1.0).contains(&self.compute_efficiency) || self.compute_efficiency == 0.0 {
             return Err(format!(

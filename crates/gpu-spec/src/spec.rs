@@ -77,11 +77,11 @@ impl ComputeTopology {
         if block_size == 0 || block_size > self.max_threads_per_block {
             return 0.0;
         }
-        let reg_limited_threads = if registers_per_thread == 0 {
-            self.max_threads_per_unit
-        } else {
-            (self.registers_per_unit / registers_per_thread).min(self.max_threads_per_unit)
-        };
+        let reg_limited_threads = self
+            .registers_per_unit
+            .checked_div(registers_per_thread)
+            .unwrap_or(self.max_threads_per_unit)
+            .min(self.max_threads_per_unit);
         // Blocks are granular: a partially-fitting block does not run.
         let blocks_by_regs = reg_limited_threads / block_size;
         let blocks_by_threads = self.max_threads_per_unit / block_size;

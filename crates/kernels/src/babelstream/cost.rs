@@ -18,7 +18,14 @@ pub fn stream_cost(platform: &Platform, op: StreamOp, config: &BabelStreamConfig
     };
 
     let (bytes_read, bytes_written, flops, loads, stores, pattern) = match op {
-        StreamOp::Copy => (array, array, FlopCounts::default(), 1.0, 1.0, AccessPattern::Stream),
+        StreamOp::Copy => (
+            array,
+            array,
+            FlopCounts::default(),
+            1.0,
+            1.0,
+            AccessPattern::Stream,
+        ),
         StreamOp::Mul => (
             array,
             array,
@@ -120,7 +127,9 @@ mod tests {
     fn copy_has_no_flops_triad_has_fmas() {
         let config = BabelStreamConfig::paper(Precision::Fp32);
         assert_eq!(
-            stream_cost(&platform(), StreamOp::Copy, &config).flops.total(),
+            stream_cost(&platform(), StreamOp::Copy, &config)
+                .flops
+                .total(),
             0
         );
         let triad = stream_cost(&platform(), StreamOp::Triad, &config);

@@ -25,7 +25,11 @@ use vendor_models::Platform;
 
 /// Runs one BabelStream operation on a platform, dispatching to the portable
 /// or vendor implementation according to the backend.
-pub fn run(platform: &Platform, op: StreamOp, config: &BabelStreamConfig) -> Result<WorkloadRun, SimError> {
+pub fn run(
+    platform: &Platform,
+    op: StreamOp,
+    config: &BabelStreamConfig,
+) -> Result<WorkloadRun, SimError> {
     if platform.backend.is_portable() {
         run_portable(platform, op, config)
     } else {
@@ -34,7 +38,10 @@ pub fn run(platform: &Platform, op: StreamOp, config: &BabelStreamConfig) -> Res
 }
 
 /// Runs all five operations in presentation order.
-pub fn run_all(platform: &Platform, config: &BabelStreamConfig) -> Result<Vec<WorkloadRun>, SimError> {
+pub fn run_all(
+    platform: &Platform,
+    config: &BabelStreamConfig,
+) -> Result<Vec<WorkloadRun>, SimError> {
     StreamOp::ALL
         .iter()
         .map(|&op| run(platform, op, config))
@@ -73,7 +80,10 @@ mod tests {
             if op == StreamOp::Dot {
                 assert!(ratio < 0.85, "Dot: Mojo should lag CUDA, ratio {ratio}");
             } else {
-                assert!(ratio >= 0.999, "{op}: Mojo should not lag CUDA, ratio {ratio}");
+                assert!(
+                    ratio >= 0.999,
+                    "{op}: Mojo should not lag CUDA, ratio {ratio}"
+                );
             }
         }
     }
@@ -98,7 +108,15 @@ mod tests {
         let config = BabelStreamConfig::paper(Precision::Fp64);
         let mojo = run(&Platform::portable_h100(), StreamOp::Copy, &config).unwrap();
         let cuda = run(&Platform::cuda_h100(false), StreamOp::Copy, &config).unwrap();
-        assert!((mojo.millis() - 0.202).abs() < 0.03, "Mojo copy {} ms", mojo.millis());
-        assert!((cuda.millis() - 0.205).abs() < 0.03, "CUDA copy {} ms", cuda.millis());
+        assert!(
+            (mojo.millis() - 0.202).abs() < 0.03,
+            "Mojo copy {} ms",
+            mojo.millis()
+        );
+        assert!(
+            (cuda.millis() - 0.205).abs() < 0.03,
+            "CUDA copy {} ms",
+            cuda.millis()
+        );
     }
 }

@@ -11,7 +11,9 @@ use super::reference::expected_values;
 use crate::common::{Verification, WorkloadRun};
 use crate::real::Real;
 use gpu_sim::memory::DeviceBuffer;
-use gpu_sim::{launch_flat, CoopKernel, CoopLaunch, Device, Dim3, PhaseOutcome, SimError, ThreadCtx};
+use gpu_sim::{
+    launch_flat, CoopKernel, CoopLaunch, Device, Dim3, PhaseOutcome, SimError, ThreadCtx,
+};
 use vendor_models::kernel_class::StreamOp;
 use vendor_models::{heuristics, KernelClass, Platform};
 
@@ -233,7 +235,15 @@ mod tests {
         let cuda = run_vendor(&Platform::cuda_h100(false), StreamOp::Dot, &config).unwrap();
         let mojo =
             super::super::run_portable(&Platform::portable_h100(), StreamOp::Dot, &config).unwrap();
-        assert!((cuda.millis() - 0.168).abs() < 0.03, "CUDA dot {}", cuda.millis());
-        assert!((mojo.millis() - 0.215).abs() < 0.03, "Mojo dot {}", mojo.millis());
+        assert!(
+            (cuda.millis() - 0.168).abs() < 0.03,
+            "CUDA dot {}",
+            cuda.millis()
+        );
+        assert!(
+            (mojo.millis() - 0.215).abs() < 0.03,
+            "Mojo dot {}",
+            mojo.millis()
+        );
     }
 }

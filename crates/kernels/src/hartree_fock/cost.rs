@@ -96,8 +96,8 @@ pub fn hartree_fock_cost(config: &HartreeFockConfig, system: &HeliumSystem) -> K
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::triangular::pair_count;
+    use super::*;
 
     /// Brute-force survivor count used to validate the two-pointer sweep.
     fn brute_force(schwarz: &[f64], tol: f64) -> u64 {

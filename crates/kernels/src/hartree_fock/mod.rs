@@ -9,7 +9,7 @@
 //!
 //! The original proxy app reads helium test decks (`he64` … `he1024`); this
 //! reproduction generates the same systems synthetically (a helium lattice
-//! with STO-3G-like Gaussian parameters, see [`geometry`]) and keeps the
+//! with STO-3G-like Gaussian parameters, see [`HeliumSystem`]) and keeps the
 //! Schwarz screening, the four nested Gaussian loops and the six atomic
 //! updates of Listing 5.
 
@@ -21,7 +21,7 @@ mod reference;
 mod triangular;
 mod vendor;
 
-pub use config::HartreeFockConfig;
+pub use config::{HartreeFockConfig, DEFAULT_SCREENING_TOL, MAX_FUNCTIONAL_NATOMS};
 pub use cost::{hartree_fock_cost, surviving_quartets};
 pub use geometry::HeliumSystem;
 pub use portable::run_portable;

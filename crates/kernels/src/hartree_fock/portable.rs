@@ -94,10 +94,10 @@ fn execute(
         let (i, j, k, l) = (i as usize, j as usize, k as usize, l as usize);
         Atomic::fetch_add_f64(&fock_k, i * natoms + j, dens_k.get2(k, l) * eri * 4.0);
         Atomic::fetch_add_f64(&fock_k, k * natoms + l, dens_k.get2(i, j) * eri * 4.0);
-        Atomic::fetch_add_f64(&fock_k, i * natoms + k, dens_k.get2(j, l) * eri * -1.0);
-        Atomic::fetch_add_f64(&fock_k, i * natoms + l, dens_k.get2(j, k) * eri * -1.0);
-        Atomic::fetch_add_f64(&fock_k, j * natoms + k, dens_k.get2(i, l) * eri * -1.0);
-        Atomic::fetch_add_f64(&fock_k, j * natoms + l, dens_k.get2(i, k) * eri * -1.0);
+        Atomic::fetch_add_f64(&fock_k, i * natoms + k, dens_k.get2(j, l) * -eri);
+        Atomic::fetch_add_f64(&fock_k, i * natoms + l, dens_k.get2(j, k) * -eri);
+        Atomic::fetch_add_f64(&fock_k, j * natoms + k, dens_k.get2(i, l) * -eri);
+        Atomic::fetch_add_f64(&fock_k, j * natoms + l, dens_k.get2(i, k) * -eri);
     })?;
     ctx.synchronize();
 

@@ -20,12 +20,14 @@ pub fn quartet_eri(system: &HeliumSystem, ij: u64, kl: u64) -> f64 {
     for ib in 0..ngauss {
         for jb in 0..ngauss {
             let aij = system.xpnt[ib] + system.xpnt[jb];
-            let dij = system.coef[ib] * system.coef[jb]
+            let dij = system.coef[ib]
+                * system.coef[jb]
                 * (-system.xpnt[ib] * system.xpnt[jb] / aij * r2_ij).exp();
             for kb in 0..ngauss {
                 for lb in 0..ngauss {
                     let akl = system.xpnt[kb] + system.xpnt[lb];
-                    let dkl = system.coef[kb] * system.coef[lb]
+                    let dkl = system.coef[kb]
+                        * system.coef[lb]
                         * (-system.xpnt[kb] * system.xpnt[lb] / akl * r2_kl).exp();
                     let aijkl = aij * akl / (aij + akl);
                     // Boys-function surrogate: smooth, 1 at t = 0, ~t^(-1/2) tail.
@@ -57,10 +59,10 @@ pub fn scatter_fock(
     add(at(i, j), dens[at(k, l)] * eri * 4.0);
     add(at(k, l), dens[at(i, j)] * eri * 4.0);
     // Exchange contributions.
-    add(at(i, k), dens[at(j, l)] * eri * -1.0);
-    add(at(i, l), dens[at(j, k)] * eri * -1.0);
-    add(at(j, k), dens[at(i, l)] * eri * -1.0);
-    add(at(j, l), dens[at(i, k)] * eri * -1.0);
+    add(at(i, k), dens[at(j, l)] * -eri);
+    add(at(i, l), dens[at(j, k)] * -eri);
+    add(at(j, k), dens[at(i, l)] * -eri);
+    add(at(j, l), dens[at(i, k)] * -eri);
 }
 
 /// Sequentially builds the Fock matrix over every unscreened quartet.

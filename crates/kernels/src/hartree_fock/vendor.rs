@@ -82,10 +82,10 @@ fn execute(
         let at = |a: usize, b: usize| a * natoms + b;
         fock_k.atomic_add(at(i, j), dens_k.read(at(k, l)) * eri * 4.0);
         fock_k.atomic_add(at(k, l), dens_k.read(at(i, j)) * eri * 4.0);
-        fock_k.atomic_add(at(i, k), dens_k.read(at(j, l)) * eri * -1.0);
-        fock_k.atomic_add(at(i, l), dens_k.read(at(j, k)) * eri * -1.0);
-        fock_k.atomic_add(at(j, k), dens_k.read(at(i, l)) * eri * -1.0);
-        fock_k.atomic_add(at(j, l), dens_k.read(at(i, k)) * eri * -1.0);
+        fock_k.atomic_add(at(i, k), dens_k.read(at(j, l)) * -eri);
+        fock_k.atomic_add(at(i, l), dens_k.read(at(j, k)) * -eri);
+        fock_k.atomic_add(at(j, k), dens_k.read(at(i, l)) * -eri);
+        fock_k.atomic_add(at(j, l), dens_k.read(at(i, k)) * -eri);
     });
 
     let expected = reference_fock(system, tol);

@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn sweep_values_match_the_paper() {
-        assert_eq!(MiniBudeConfig::paper_ppwi_sweep(), [1, 2, 4, 8, 16, 32, 64, 128]);
+        assert_eq!(
+            MiniBudeConfig::paper_ppwi_sweep(),
+            [1, 2, 4, 8, 16, 32, 64, 128]
+        );
         assert_eq!(MiniBudeConfig::paper_wg_values(), [8, 64]);
     }
 

@@ -11,7 +11,7 @@
 //! atoms, 65,536 poses). The original deck ships as binary data files with the
 //! miniBUDE distribution; this reproduction generates a synthetic deck with
 //! identical dimensions and physically plausible parameter ranges (see
-//! [`deck`]), which preserves the arithmetic characteristics the paper
+//! [`Deck`]), which preserves the arithmetic characteristics the paper
 //! measures — the operation mix does not depend on the particular molecule.
 
 mod config;
@@ -25,7 +25,7 @@ pub use config::MiniBudeConfig;
 pub use cost::fasten_cost;
 pub use deck::{Atom, Deck, ForceFieldParam};
 pub use portable::run_portable;
-pub use reference::{pair_energy, pose_energy, reference_energies, transform_point};
+pub use reference::{pair_energy, pose_energy, reference_energies, transform_point, HALF};
 pub use vendor::run_vendor;
 
 use crate::common::WorkloadRun;

@@ -144,16 +144,52 @@ mod tests {
     #[test]
     fn overlapping_atoms_are_penalised() {
         // Two atoms at the same point: a strong positive clash term.
-        let close = pair_energy(0.0, 0.0, 0.0, (1.5, 0.0, 0.0), 0.1, 0.0, 0.0, (1.5, 0.0, 0.0));
-        let far = pair_energy(0.0, 0.0, 0.0, (1.5, 0.0, 0.0), 30.0, 0.0, 0.0, (1.5, 0.0, 0.0));
+        let close = pair_energy(
+            0.0,
+            0.0,
+            0.0,
+            (1.5, 0.0, 0.0),
+            0.1,
+            0.0,
+            0.0,
+            (1.5, 0.0, 0.0),
+        );
+        let far = pair_energy(
+            0.0,
+            0.0,
+            0.0,
+            (1.5, 0.0, 0.0),
+            30.0,
+            0.0,
+            0.0,
+            (1.5, 0.0, 0.0),
+        );
         assert!(close > 10.0);
         assert!(far.abs() < 0.1);
     }
 
     #[test]
     fn opposite_charges_attract() {
-        let attract = pair_energy(0.0, 0.0, 0.0, (0.1, 0.0, 0.5), 5.0, 0.0, 0.0, (0.1, 0.0, -0.5));
-        let repel = pair_energy(0.0, 0.0, 0.0, (0.1, 0.0, 0.5), 5.0, 0.0, 0.0, (0.1, 0.0, 0.5));
+        let attract = pair_energy(
+            0.0,
+            0.0,
+            0.0,
+            (0.1, 0.0, 0.5),
+            5.0,
+            0.0,
+            0.0,
+            (0.1, 0.0, -0.5),
+        );
+        let repel = pair_energy(
+            0.0,
+            0.0,
+            0.0,
+            (0.1, 0.0, 0.5),
+            5.0,
+            0.0,
+            0.0,
+            (0.1, 0.0, 0.5),
+        );
         assert!(attract < 0.0);
         assert!(repel > 0.0);
     }

@@ -95,7 +95,7 @@ fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification,
         }
 
         let mut etot = [0.0f32; MAX_PPWI];
-        for lane in 0..ppwi {
+        for (lane, lane_slot) in etot.iter_mut().enumerate().take(ppwi) {
             let pose_index = ix + lane * lsz;
             if pose_index >= nposes {
                 continue;
@@ -114,7 +114,11 @@ fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification,
                 let ly = lig.read(l * 4 + 1);
                 let lz = lig.read(l * 4 + 2);
                 let ltype = lig.read(l * 4 + 3) as usize;
-                let l_ff = (ff.read(ltype * 3), ff.read(ltype * 3 + 1), ff.read(ltype * 3 + 2));
+                let l_ff = (
+                    ff.read(ltype * 3),
+                    ff.read(ltype * 3 + 1),
+                    ff.read(ltype * 3 + 2),
+                );
                 let (tx, ty, tz) = transform_point(pose, lx, ly, lz);
                 for p in 0..natpro {
                     let px = pro.read(p * 4);
@@ -129,15 +133,15 @@ fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification,
                     lane_energy += pair_energy(tx, ty, tz, l_ff, px, py, pz, p_ff);
                 }
             }
-            etot[lane] = lane_energy;
+            *lane_slot = lane_energy;
         }
 
         let td_base = (t.block_idx.x as usize) * lsz * ppwi + t.thread_idx.x as usize;
         if td_base < nposes {
-            for lane in 0..ppwi {
+            for (lane, lane_energy) in etot.iter().enumerate().take(ppwi) {
                 let out_index = td_base + lane * lsz;
                 if out_index < nposes {
-                    out.write(out_index, etot[lane] * HALF);
+                    out.write(out_index, lane_energy * HALF);
                 }
             }
         }

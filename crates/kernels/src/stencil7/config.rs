@@ -8,6 +8,20 @@ use serde::{Deserialize, Serialize};
 /// hundreds of milliseconds per simulated launch on the host).
 pub const MAX_FUNCTIONAL_L: usize = 192;
 
+/// FP32 functional-execution limit. The kernel's coefficients grow as
+/// `(L-1)²`, so the Laplacian is a small difference of terms of magnitude
+/// `~6·(L-1)²`; in single precision the cancellation error passes the f32
+/// verification tolerance only up to roughly this grid size.
+pub const MAX_FUNCTIONAL_L_FP32: usize = 40;
+
+/// The largest grid the driver executes functionally at a given precision.
+pub fn functional_limit(precision: Precision) -> usize {
+    match precision {
+        Precision::Fp32 => MAX_FUNCTIONAL_L_FP32,
+        Precision::Fp64 => MAX_FUNCTIONAL_L,
+    }
+}
+
 /// Configuration of one seven-point-stencil experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StencilConfig {
@@ -21,7 +35,9 @@ pub struct StencilConfig {
     /// uses a unit cube, so `h = 1 / (L - 1)`).
     pub spacing: f64,
     /// Whether to execute the kernel functionally and validate against the
-    /// CPU reference (automatically skipped above [`MAX_FUNCTIONAL_L`]).
+    /// CPU reference (automatically skipped above the precision's
+    /// [`functional_limit`]: [`MAX_FUNCTIONAL_L`] for FP64,
+    /// [`MAX_FUNCTIONAL_L_FP32`] for FP32).
     pub validate: bool,
 }
 
@@ -34,7 +50,7 @@ impl StencilConfig {
             precision,
             block_x: (l as u32).min(1024),
             spacing: 1.0 / (l as f64 - 1.0),
-            validate: l <= MAX_FUNCTIONAL_L,
+            validate: l <= functional_limit(precision),
         }
     }
 
@@ -51,7 +67,7 @@ impl StencilConfig {
 
     /// Whether the driver should run the kernel functionally.
     pub fn should_execute(&self) -> bool {
-        self.validate && self.l <= MAX_FUNCTIONAL_L
+        self.validate && self.l <= functional_limit(self.precision)
     }
 
     /// Inverse-square coefficients `(invhx2, invhy2, invhz2, invhxyz2)` used

@@ -12,7 +12,7 @@ mod portable;
 mod reference;
 mod vendor;
 
-pub use config::StencilConfig;
+pub use config::{functional_limit, StencilConfig, MAX_FUNCTIONAL_L, MAX_FUNCTIONAL_L_FP32};
 pub use cost::stencil_cost;
 pub use portable::run_portable;
 pub use reference::{initialize_grid, reference_laplacian};

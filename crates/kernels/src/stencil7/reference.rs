@@ -55,7 +55,10 @@ mod tests {
         let u = vec![5.0; 12 * 12 * 12];
         let f = reference_laplacian(&config, &u);
         for v in f {
-            assert!(v.abs() < 1e-6, "Laplacian of a constant must vanish, got {v}");
+            assert!(
+                v.abs() < 1e-6,
+                "Laplacian of a constant must vanish, got {v}"
+            );
         }
     }
 

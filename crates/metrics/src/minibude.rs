@@ -66,7 +66,10 @@ mod tests {
             poses: 65_536,
             ppwi: 1,
         };
-        assert_eq!(minibude_ops_per_workgroup(&sizes), 28 + 26 * (2 + 18 + 938 * 40));
+        assert_eq!(
+            minibude_ops_per_workgroup(&sizes),
+            28 + 26 * (2 + 18 + 938 * 40)
+        );
         assert_eq!(
             minibude_total_ops(&sizes),
             minibude_ops_per_workgroup(&sizes) * 65_536

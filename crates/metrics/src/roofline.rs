@@ -76,7 +76,12 @@ impl Roofline {
     }
 
     /// Samples the ceiling at logarithmically spaced intensities, for plotting.
-    pub fn ceiling_series(&self, min_intensity: f64, max_intensity: f64, samples: usize) -> Vec<(f64, f64)> {
+    pub fn ceiling_series(
+        &self,
+        min_intensity: f64,
+        max_intensity: f64,
+        samples: usize,
+    ) -> Vec<(f64, f64)> {
         assert!(samples >= 2, "need at least two samples");
         assert!(min_intensity > 0.0 && max_intensity > min_intensity);
         let log_min = min_intensity.ln();

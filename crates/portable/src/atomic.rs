@@ -73,8 +73,7 @@ mod tests {
     #[test]
     fn f32_and_buffer_variants() {
         let dev = Device::new(presets::test_device());
-        let t32 =
-            LayoutTensor::new(dev.alloc::<f32>(1).unwrap(), Layout::row_major_1d(1)).unwrap();
+        let t32 = LayoutTensor::new(dev.alloc::<f32>(1).unwrap(), Layout::row_major_1d(1)).unwrap();
         Atomic::fetch_add_f32(&t32, 0, 2.0);
         assert_eq!(t32.get(0), 2.0);
 

@@ -134,9 +134,7 @@ mod tests {
     #[test]
     fn create_buffer_from_host_data() {
         let ctx = DeviceContext::new(presets::test_device());
-        let buf = ctx
-            .enqueue_create_buffer_from(&[1.0f64, 2.0, 3.0])
-            .unwrap();
+        let buf = ctx.enqueue_create_buffer_from(&[1.0f64, 2.0, 3.0]).unwrap();
         assert_eq!(buf.copy_to_host(), vec![1.0, 2.0, 3.0]);
         assert!(ctx.device().allocated_bytes() > 0);
         assert_eq!(ctx.spec().vendor, gpu_spec::Vendor::Generic);

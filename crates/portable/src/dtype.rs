@@ -5,8 +5,8 @@
 //! parameter on buffers and tensors; [`DType`] exists for the places where a
 //! runtime description is needed (experiment manifests, reports, CSV output).
 
-use gpu_spec::Precision;
 use gpu_sim::memory::DeviceScalar;
+use gpu_spec::Precision;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

@@ -89,7 +89,9 @@ impl<T: DeviceScalar> LayoutTensor<T> {
 
     /// Copies the covered elements back to the host.
     pub fn to_host(&self) -> Vec<T> {
-        (0..self.layout.len()).map(|i| self.buffer.read(i)).collect()
+        (0..self.layout.len())
+            .map(|i| self.buffer.read(i))
+            .collect()
     }
 
     /// Copies host data into the covered elements.

@@ -54,10 +54,7 @@ pub fn run() -> ExperimentReport {
 
     let hf_config = hartree_fock::HartreeFockConfig::paper(256, 3);
     let hf = hartree_fock::run(&platform, &hf_config).expect("hartree-fock run");
-    points.push((
-        roofline_point("Hartree-Fock", &spec, &hf),
-        Precision::Fp64,
-    ));
+    points.push((roofline_point("Hartree-Fock", &spec, &hf), Precision::Fp64));
 
     let mut table = AsciiTable::new([
         "Kernel",
@@ -99,7 +96,11 @@ pub fn run() -> ExperimentReport {
     report.push_line(table.render());
 
     // Ceiling series for plotting the roofline itself.
-    let mut ceiling = CsvTable::new(["arithmetic_intensity", "attainable_flops_fp32", "attainable_flops_fp64"]);
+    let mut ceiling = CsvTable::new([
+        "arithmetic_intensity",
+        "attainable_flops_fp32",
+        "attainable_flops_fp64",
+    ]);
     let roof32 = Roofline::of(&spec, Precision::Fp32);
     let roof64 = Roofline::of(&spec, Precision::Fp64);
     for (ai, f32ceil) in roof32.ceiling_series(0.01, 1000.0, 61) {
@@ -134,7 +135,12 @@ mod tests {
         let text = &report.text;
         // Memory-bound: stencil and BabelStream. Compute-bound: miniBUDE and
         // Hartree-Fock.
-        for needle in ["seven-point stencil", "BabelStream Triad", "miniBUDE", "Hartree-Fock"] {
+        for needle in [
+            "seven-point stencil",
+            "BabelStream Triad",
+            "miniBUDE",
+            "Hartree-Fock",
+        ] {
             assert!(text.contains(needle), "missing {needle}");
         }
         let lines: Vec<&str> = text.lines().collect();

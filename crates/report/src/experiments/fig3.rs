@@ -51,16 +51,18 @@ pub fn run() -> ExperimentReport {
                 for (i, seconds) in samples.iter().enumerate() {
                     csv.push_row([
                         platform.spec.name.clone(),
-                        platform.backend.label(),
+                        platform.backend.label().to_string(),
                         format!("{}", config.l),
                         config.precision.label().to_string(),
                         format!("{i}"),
-                        format!("{}", stencil_bandwidth_gbs(config.l as u64, config.precision, *seconds)),
+                        format!(
+                            "{}",
+                            stencil_bandwidth_gbs(config.l as u64, config.precision, *seconds)
+                        ),
                     ]);
                 }
                 let stats = RunStats::from_samples(&samples);
-                let mean_bw =
-                    stencil_bandwidth_gbs(config.l as u64, config.precision, stats.mean);
+                let mean_bw = stencil_bandwidth_gbs(config.l as u64, config.precision, stats.mean);
                 s.push(
                     format!("L={} {}", config.l, config.precision.label()),
                     mean_bw,

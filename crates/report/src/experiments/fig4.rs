@@ -36,7 +36,7 @@ pub fn run() -> ExperimentReport {
                 s.push(op.label(), mean_bw);
                 csv.push_row([
                     platform.spec.name.clone(),
-                    platform.backend.label(),
+                    platform.backend.label().to_string(),
                     op.label().to_string(),
                     format!("{mean_bw}"),
                     format!("{std_bw}"),
@@ -72,7 +72,7 @@ mod tests {
             if op == StreamOp::Dot {
                 assert!((eff - 0.78).abs() < 0.05, "Dot efficiency {eff}");
             } else {
-                assert!(eff >= 1.0 && eff < 1.06, "{op} efficiency {eff}");
+                assert!((1.0..1.06).contains(&eff), "{op} efficiency {eff}");
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Figure 5 — instruction-mix comparison of the Triad kernel (the paper's
 //! SASS listing, reproduced as an instruction-mix diff; see DESIGN.md).
 
+use super::support::MetricRow;
 use crate::render::AsciiTable;
 use crate::report::ExperimentReport;
 use gpu_sim::isa::{InstructionMix, MixComparison};
@@ -32,7 +33,7 @@ pub fn run() -> ExperimentReport {
     let cmp = comparison();
 
     let mut table = AsciiTable::new(["per-thread instruction class", "Mojo", "CUDA"]);
-    let rows: [(&str, fn(&InstructionMix) -> String); 7] = [
+    let rows: [MetricRow<InstructionMix>; 7] = [
         ("Global loads (LDG)", |m| format!("{:.1}", m.ldg)),
         ("Global stores (STG)", |m| format!("{:.1}", m.stg)),
         ("Constant loads (LDC)", |m| format!("{}", m.ldc)),
@@ -64,7 +65,16 @@ pub fn run() -> ExperimentReport {
         cmp.global_accesses_match()
     ));
 
-    let mut csv = CsvTable::new(["backend", "ldg", "stg", "ldc", "fma", "iadd", "mufu", "registers"]);
+    let mut csv = CsvTable::new([
+        "backend",
+        "ldg",
+        "stg",
+        "ldc",
+        "fma",
+        "iadd",
+        "mufu",
+        "registers",
+    ]);
     for mix in [&cmp.portable, &cmp.vendor] {
         csv.push_row([
             mix.backend.clone(),
@@ -97,7 +107,9 @@ mod tests {
     fn fig5_report_states_the_observations() {
         let report = run();
         assert!(report.text.contains("fewer constant loads: true"));
-        assert!(report.text.contains("more integer adds in the main loop: true"));
+        assert!(report
+            .text
+            .contains("more integer adds in the main loop: true"));
         assert!(report.text.contains("identical: true"));
         assert_eq!(report.tables[0].1.rows.len(), 2);
     }

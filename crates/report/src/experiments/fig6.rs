@@ -32,7 +32,7 @@ pub fn sweep(platforms: &[Platform], wg: u32, csv: &mut CsvTable) -> Vec<Series>
             s.push(format!("PPWI={ppwi}"), gflops);
             csv.push_row([
                 platform.spec.name.clone(),
-                platform.backend.label(),
+                platform.backend.label().to_string(),
                 format!("{wg}"),
                 format!("{ppwi}"),
                 format!("{gflops}"),

@@ -45,8 +45,14 @@ mod tests {
             // series[0] = Mojo, [1] = HIP fast-math, [2] = HIP.
             for i in 0..series[0].points.len() {
                 let mojo = series[0].points[i].1;
-                assert!(series[1].points[i].1 > mojo, "HIP-ff should beat Mojo (wg {wg})");
-                assert!(series[2].points[i].1 > mojo, "HIP should beat Mojo (wg {wg})");
+                assert!(
+                    series[1].points[i].1 > mojo,
+                    "HIP-ff should beat Mojo (wg {wg})"
+                );
+                assert!(
+                    series[2].points[i].1 > mojo,
+                    "HIP should beat Mojo (wg {wg})"
+                );
             }
         }
     }

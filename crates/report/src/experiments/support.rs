@@ -1,7 +1,9 @@
 //! Helpers shared by the experiment modules: the platform sets each figure
 //! compares and figure-of-merit extraction from workload runs.
 
-use hpc_metrics::{babelstream_bandwidth_gbs, minibude_gflops, stencil_bandwidth_gbs, BabelStreamOp, MiniBudeSizes};
+use hpc_metrics::{
+    babelstream_bandwidth_gbs, minibude_gflops, stencil_bandwidth_gbs, BabelStreamOp, MiniBudeSizes,
+};
 use science_kernels::babelstream::BabelStreamConfig;
 use science_kernels::minibude::MiniBudeConfig;
 use science_kernels::stencil7::StencilConfig;
@@ -20,6 +22,10 @@ pub const STENCIL_JITTER: f64 = 0.035;
 /// Relative run-to-run spread for BabelStream (the paper notes much less
 /// variability thanks to the simple 1-D access pattern).
 pub const STREAM_JITTER: f64 = 0.008;
+
+/// One rendered metric row of a profiling table: label plus a per-record
+/// extractor.
+pub type MetricRow<T> = (&'static str, fn(&T) -> String);
 
 /// The portable-vs-vendor platform pairs compared on each device.
 pub fn h100_pair() -> (Platform, Platform) {

@@ -1,5 +1,6 @@
 //! Table 2 — seven-point stencil NCU profiling metrics, Mojo vs CUDA.
 
+use super::support::MetricRow;
 use crate::render::AsciiTable;
 use crate::report::ExperimentReport;
 use gpu_sim::ProfileReport;
@@ -30,8 +31,18 @@ pub fn run() -> ExperimentReport {
     );
     let spec = presets::h100_nvl();
     let mut csv = CsvTable::new([
-        "case", "backend", "duration_ms", "compute_sm_pct", "memory_pct", "l1_ai", "l2_ai",
-        "l3_ai", "perf_flops", "registers", "ldg", "stg",
+        "case",
+        "backend",
+        "duration_ms",
+        "compute_sm_pct",
+        "memory_pct",
+        "l1_ai",
+        "l2_ai",
+        "l3_ai",
+        "perf_flops",
+        "registers",
+        "ldg",
+        "stg",
     ]);
 
     for (config, label) in cases() {
@@ -42,7 +53,7 @@ pub fn run() -> ExperimentReport {
         let mojo_prof = ProfileReport::derive(&spec, &mojo.cost, &mojo.profile, &mojo.timing);
         let cuda_prof = ProfileReport::derive(&spec, &cuda.cost, &cuda.profile, &cuda.timing);
 
-        let rows: [(&str, fn(&ProfileReport) -> String); 10] = [
+        let rows: [MetricRow<ProfileReport>; 10] = [
             ("Duration (ms)", |p| format!("{:.2}", p.duration_ms)),
             ("Compute SM (%)", |p| format!("{:.1}", p.compute_sm_pct)),
             ("Memory (%)", |p| format!("{:.1}", p.memory_pct)),

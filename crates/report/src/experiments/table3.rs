@@ -1,6 +1,7 @@
 //! Table 3 — BabelStream NCU profiling metrics (Copy, Mul, Add, Dot), Mojo
 //! vs CUDA on the H100.
 
+use super::support::MetricRow;
 use crate::render::AsciiTable;
 use crate::report::ExperimentReport;
 use gpu_sim::ProfileReport;
@@ -11,7 +12,8 @@ use vendor_models::kernel_class::StreamOp;
 use vendor_models::Platform;
 
 /// The operations profiled in Table 3.
-pub const PROFILED_OPS: [StreamOp; 4] = [StreamOp::Copy, StreamOp::Mul, StreamOp::Add, StreamOp::Dot];
+pub const PROFILED_OPS: [StreamOp; 4] =
+    [StreamOp::Copy, StreamOp::Mul, StreamOp::Add, StreamOp::Dot];
 
 /// Regenerates Table 3.
 pub fn run() -> ExperimentReport {
@@ -28,7 +30,14 @@ pub fn run() -> ExperimentReport {
     }
     let mut table = AsciiTable::new(header);
     let mut csv = CsvTable::new([
-        "op", "backend", "duration_ms", "compute_sm_pct", "memory_pct", "registers", "ldg", "stg",
+        "op",
+        "backend",
+        "duration_ms",
+        "compute_sm_pct",
+        "memory_pct",
+        "registers",
+        "ldg",
+        "stg",
     ]);
 
     let mut profiles: Vec<(StreamOp, ProfileReport, ProfileReport)> = Vec::new();
@@ -52,7 +61,7 @@ pub fn run() -> ExperimentReport {
         profiles.push((op, mojo_prof, cuda_prof));
     }
 
-    let rows: [(&str, fn(&ProfileReport) -> String); 6] = [
+    let rows: [MetricRow<ProfileReport>; 6] = [
         ("Duration (ms)", |p| format!("{:.3}", p.duration_ms)),
         ("Compute SM (%)", |p| format!("{:.1}", p.compute_sm_pct)),
         ("Memory (%)", |p| format!("{:.1}", p.memory_pct)),

@@ -70,7 +70,7 @@ pub fn run() -> ExperimentReport {
     ]);
     // Present rows largest-first like the paper.
     let mut all = rows();
-    all.sort_by(|a, b| b.natoms.cmp(&a.natoms));
+    all.sort_by_key(|row| std::cmp::Reverse(row.natoms));
     for row in &all {
         table.push_row([
             format!("a={} ngauss={}", row.natoms, row.ngauss),
@@ -137,7 +137,12 @@ mod tests {
     #[test]
     fn table4_report_has_all_four_cases() {
         let report = run();
-        for case in ["a=1024 ngauss=6", "a=256 ngauss=3", "a=128 ngauss=3", "a=64 ngauss=3"] {
+        for case in [
+            "a=1024 ngauss=6",
+            "a=256 ngauss=3",
+            "a=128 ngauss=3",
+            "a=64 ngauss=3",
+        ] {
             assert!(report.text.contains(case), "missing {case}");
         }
         assert_eq!(report.tables[0].1.rows.len(), 4);

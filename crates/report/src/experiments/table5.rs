@@ -79,7 +79,13 @@ pub fn portability_tables() -> Vec<PortabilityTable> {
 /// Regenerates Table 5.
 pub fn run() -> ExperimentReport {
     let mut report = ExperimentReport::new("table5", "Mojo performance-portability metric (Eq. 4)");
-    let mut csv = CsvTable::new(["application", "configuration", "nvidia_efficiency", "amd_efficiency", "phi"]);
+    let mut csv = CsvTable::new([
+        "application",
+        "configuration",
+        "nvidia_efficiency",
+        "amd_efficiency",
+        "phi",
+    ]);
     for table in portability_tables() {
         report.push_line(table.to_string());
         report.push_line("");

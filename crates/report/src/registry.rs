@@ -102,7 +102,10 @@ pub fn run_experiment(id: ExperimentId) -> ExperimentReport {
 
 /// Runs every experiment in presentation order.
 pub fn all_experiments() -> Vec<ExperimentReport> {
-    ExperimentId::ALL.iter().map(|&id| run_experiment(id)).collect()
+    ExperimentId::ALL
+        .iter()
+        .map(|&id| run_experiment(id))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,126 @@
+//! Kernel classification: which workload (and which shape of it) a backend is
+//! compiling, so the codegen model can attach the right execution profile.
+
+use gpu_spec::Precision;
+use std::fmt;
+
+/// The five BabelStream operations (paper Listing 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamOp {
+    /// `c[i] = a[i]`.
+    Copy,
+    /// `b[i] = scalar * c[i]`.
+    Mul,
+    /// `c[i] = a[i] + b[i]`.
+    Add,
+    /// `a[i] = b[i] + scalar * c[i]`.
+    Triad,
+    /// `sum = Σ a[i]·b[i]` — the block-reduction kernel.
+    Dot,
+}
+
+impl StreamOp {
+    /// All operations in the paper's presentation order.
+    pub const ALL: [StreamOp; 5] = [
+        StreamOp::Copy,
+        StreamOp::Mul,
+        StreamOp::Add,
+        StreamOp::Triad,
+        StreamOp::Dot,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamOp::Copy => "Copy",
+            StreamOp::Mul => "Mul",
+            StreamOp::Add => "Add",
+            StreamOp::Triad => "Triad",
+            StreamOp::Dot => "Dot",
+        }
+    }
+}
+
+impl fmt::Display for StreamOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What kind of kernel a backend is asked to compile. Codegen quality differs
+/// per kernel family *and* per shape (the paper's Hartree–Fock collapse at
+/// 1024 atoms, the miniBUDE work-group sensitivity), so the shape parameters
+/// ride along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// A BabelStream operation at a given precision.
+    Stream {
+        /// Which of the five operations.
+        op: StreamOp,
+        /// Arithmetic precision.
+        precision: Precision,
+    },
+    /// The seven-point stencil at a given precision.
+    Stencil7 {
+        /// Arithmetic precision.
+        precision: Precision,
+    },
+    /// The miniBUDE `fasten` kernel with its launch-shape parameters.
+    BudeFasten {
+        /// Poses per work-item.
+        ppwi: u32,
+        /// Work-group (thread block) size.
+        wg: u32,
+    },
+    /// The Hartree–Fock Fock-build kernel with its system parameters.
+    HartreeFock {
+        /// Number of helium atoms.
+        natoms: u32,
+        /// Gaussian primitives per atom.
+        ngauss: u32,
+    },
+}
+
+impl KernelClass {
+    /// Short name of the kernel family ("stream", "stencil7", …).
+    pub fn family(&self) -> &'static str {
+        match self {
+            KernelClass::Stream { .. } => "stream",
+            KernelClass::Stencil7 { .. } => "stencil7",
+            KernelClass::BudeFasten { .. } => "fasten",
+            KernelClass::HartreeFock { .. } => "hartree_fock",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_ops_are_ordered_and_labelled() {
+        let labels: Vec<_> = StreamOp::ALL.iter().map(|op| op.label()).collect();
+        assert_eq!(labels, vec!["Copy", "Mul", "Add", "Triad", "Dot"]);
+        assert_eq!(StreamOp::Dot.to_string(), "Dot");
+    }
+
+    #[test]
+    fn kernel_families() {
+        assert_eq!(
+            KernelClass::Stream {
+                op: StreamOp::Copy,
+                precision: Precision::Fp64
+            }
+            .family(),
+            "stream"
+        );
+        assert_eq!(
+            KernelClass::HartreeFock {
+                natoms: 64,
+                ngauss: 3
+            }
+            .family(),
+            "hartree_fock"
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Vendor and portable *programming-model* descriptions: which backend
+//! compiled a kernel, how that backend's generated code performs, and which
+//! launch heuristics it uses.
+//!
+//! The paper compares one portable (Mojo-style) implementation of each
+//! workload against the vendor-native baselines (CUDA on the H100, HIP on
+//! the MI300A, each with and without fast-math). This crate carries
+//! everything that distinguishes those programming models in the simulation:
+//!
+//! * [`Backend`] — which compiler produced the kernel,
+//! * [`Platform`] — a (device, backend) pair, the unit every experiment
+//!   iterates over,
+//! * [`kernel_class`] — what kind of kernel is being compiled (family and
+//!   shape parameters),
+//! * [`heuristics`] — the launch-geometry choices of each model,
+//! * per-backend [`ExecutionProfile`]s (via
+//!   [`Platform::execution_profile`]) calibrated so the `gpu_sim` timing
+//!   model reproduces the paper's tables and figures.
+
+#![warn(missing_docs)]
+
+pub mod heuristics;
+pub mod kernel_class;
+mod profiles;
+
+pub use kernel_class::{KernelClass, StreamOp};
+
+use gpu_sim::{ExecutionProfile, TimingModel};
+use gpu_spec::{presets, GpuSpec};
+use std::fmt;
+
+/// The compiler backend that produced a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The portable (Mojo-analog) backend: one source for every device.
+    Portable,
+    /// The CUDA-like vendor baseline (NVIDIA devices).
+    Cuda {
+        /// Whether `-ffast-math` style transcendental lowering is enabled.
+        fast_math: bool,
+    },
+    /// The HIP-like vendor baseline (AMD devices).
+    Hip {
+        /// Whether fast-math transcendental lowering is enabled.
+        fast_math: bool,
+    },
+}
+
+impl Backend {
+    /// The CUDA baseline without fast-math.
+    pub const CUDA: Backend = Backend::Cuda { fast_math: false };
+
+    /// The HIP baseline without fast-math.
+    pub const HIP: Backend = Backend::Hip { fast_math: false };
+
+    /// Whether this is the portable (single-source) backend.
+    pub fn is_portable(&self) -> bool {
+        matches!(self, Backend::Portable)
+    }
+
+    /// Whether fast-math lowering is enabled (always false for the portable
+    /// backend — the missing option the paper discusses for miniBUDE).
+    pub fn fast_math(&self) -> bool {
+        match self {
+            Backend::Portable => false,
+            Backend::Cuda { fast_math } | Backend::Hip { fast_math } => *fast_math,
+        }
+    }
+
+    /// Plot label, matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Portable => "Mojo",
+            Backend::Cuda { fast_math: false } => "CUDA",
+            Backend::Cuda { fast_math: true } => "CUDA fast-math",
+            Backend::Hip { fast_math: false } => "HIP",
+            Backend::Hip { fast_math: true } => "HIP fast-math",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One evaluated configuration: a device plus the backend compiling for it.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// The simulated device.
+    pub spec: GpuSpec,
+    /// The compiler backend.
+    pub backend: Backend,
+}
+
+impl Platform {
+    /// Creates a platform over an arbitrary device, validating the spec.
+    pub fn new(spec: GpuSpec, backend: Backend) -> Result<Platform, String> {
+        spec.validate()?;
+        Ok(Platform { spec, backend })
+    }
+
+    /// The portable backend on the NVIDIA H100 NVL.
+    pub fn portable_h100() -> Platform {
+        Platform {
+            spec: presets::h100_nvl(),
+            backend: Backend::Portable,
+        }
+    }
+
+    /// The CUDA baseline on the NVIDIA H100 NVL.
+    pub fn cuda_h100(fast_math: bool) -> Platform {
+        Platform {
+            spec: presets::h100_nvl(),
+            backend: Backend::Cuda { fast_math },
+        }
+    }
+
+    /// The portable backend on the AMD MI300A.
+    pub fn portable_mi300a() -> Platform {
+        Platform {
+            spec: presets::mi300a(),
+            backend: Backend::Portable,
+        }
+    }
+
+    /// The HIP baseline on the AMD MI300A.
+    pub fn hip_mi300a(fast_math: bool) -> Platform {
+        Platform {
+            spec: presets::mi300a(),
+            backend: Backend::Hip { fast_math },
+        }
+    }
+
+    /// Every platform of the paper's evaluation, in presentation order.
+    pub fn paper_platforms() -> Vec<Platform> {
+        vec![
+            Platform::portable_h100(),
+            Platform::cuda_h100(false),
+            Platform::cuda_h100(true),
+            Platform::portable_mi300a(),
+            Platform::hip_mi300a(false),
+            Platform::hip_mi300a(true),
+        ]
+    }
+
+    /// Human-readable label: backend plus device.
+    pub fn label(&self) -> String {
+        format!("{} on {}", self.backend.label(), self.spec.name)
+    }
+
+    /// Whether this platform is a vendor-native baseline (CUDA/HIP).
+    pub fn is_vendor_baseline(&self) -> bool {
+        !self.backend.is_portable()
+    }
+
+    /// The timing model of this platform's device.
+    pub fn timing_model(&self) -> TimingModel {
+        TimingModel::new(self.spec.clone())
+    }
+
+    /// The execution profile this platform's backend achieves for a kernel
+    /// class — the calibrated codegen constants that reproduce the paper's
+    /// measurements (see [`mod@crate::heuristics`] and the crate docs).
+    pub fn execution_profile(&self, class: &KernelClass) -> ExecutionProfile {
+        profiles::build(&self.spec, self.backend, class)
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::{Precision, Vendor};
+
+    #[test]
+    fn backend_labels_match_the_figures() {
+        assert_eq!(Backend::Portable.label(), "Mojo");
+        assert_eq!(Backend::CUDA.label(), "CUDA");
+        assert_eq!(Backend::Cuda { fast_math: true }.label(), "CUDA fast-math");
+        assert_eq!(Backend::HIP.label(), "HIP");
+        assert_eq!(
+            Backend::Hip { fast_math: true }.to_string(),
+            "HIP fast-math"
+        );
+        assert!(Backend::Portable.is_portable());
+        assert!(!Backend::CUDA.is_portable());
+        assert!(!Backend::Portable.fast_math());
+        assert!(Backend::Hip { fast_math: true }.fast_math());
+    }
+
+    #[test]
+    fn platform_constructors_pair_devices_with_backends() {
+        // H100 vs MI300A specs must match Table 1 through the constructors.
+        let h100 = Platform::portable_h100();
+        assert_eq!(h100.spec.vendor, Vendor::Nvidia);
+        assert!((h100.spec.bandwidth_gbs - 3900.0).abs() < 1e-9);
+        let mi = Platform::hip_mi300a(false);
+        assert_eq!(mi.spec.vendor, Vendor::Amd);
+        assert!((mi.spec.bandwidth_gbs - 5300.0).abs() < 1e-9);
+        assert!(mi.is_vendor_baseline());
+        assert!(!Platform::portable_mi300a().is_vendor_baseline());
+        assert!(h100.label().contains("Mojo"));
+        assert!(h100.label().contains("H100"));
+        assert_eq!(Platform::paper_platforms().len(), 6);
+    }
+
+    #[test]
+    fn platform_new_validates_the_spec() {
+        let mut bad = gpu_spec::presets::h100_nvl();
+        bad.bandwidth_gbs = -1.0;
+        assert!(Platform::new(bad, Backend::CUDA).is_err());
+        assert!(Platform::new(gpu_spec::presets::mi300a(), Backend::HIP).is_ok());
+    }
+
+    #[test]
+    fn vendor_and_portable_launch_geometry_differ_where_the_paper_says() {
+        // The Dot reduction is the launch-heuristic divergence point: fixed
+        // grid-stride grid (portable) vs 4 blocks per SM/CU (vendor).
+        let h100 = Platform::portable_h100();
+        let portable = heuristics::dot_launch(h100.backend, &h100.spec, 1 << 25);
+        let cuda = Platform::cuda_h100(false);
+        let vendor = heuristics::dot_launch(cuda.backend, &cuda.spec, 1 << 25);
+        assert_ne!(portable.num_blocks(), vendor.num_blocks());
+        // The flat streaming ops use identical one-thread-per-element grids.
+        assert_eq!(heuristics::stream_launch(1 << 25).total_threads(), 1 << 25);
+    }
+
+    #[test]
+    fn h100_and_mi300a_profiles_differ_for_the_same_portable_source() {
+        // Single source, per-device codegen: the stencil profile the portable
+        // backend achieves differs between devices (parity on the MI300A,
+        // a gap on the H100), which is the paper's central measurement.
+        let class = KernelClass::Stencil7 {
+            precision: Precision::Fp64,
+        };
+        let on_h100 = Platform::portable_h100().execution_profile(&class);
+        let on_mi300a = Platform::portable_mi300a().execution_profile(&class);
+        assert!(on_h100.mem_efficiency != on_mi300a.mem_efficiency);
+        // On the MI300A the portable profile matches HIP exactly (Fig. 3b).
+        let hip = Platform::hip_mi300a(false).execution_profile(&class);
+        assert_eq!(on_mi300a.mem_efficiency, hip.mem_efficiency);
+        // On the H100 CUDA sustains more of the memory system (Fig. 3a).
+        let cuda = Platform::cuda_h100(false).execution_profile(&class);
+        assert!(cuda.mem_efficiency > on_h100.mem_efficiency);
+    }
+}

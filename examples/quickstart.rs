@@ -19,7 +19,9 @@ fn main() {
     const BLOCK_SIZE: u32 = 256;
 
     let ctx = DeviceContext::new(presets::h100_nvl());
-    let d_u = ctx.enqueue_create_buffer::<f32>(NX).expect("allocate buffer");
+    let d_u = ctx
+        .enqueue_create_buffer::<f32>(NX)
+        .expect("allocate buffer");
     let u_tensor = LayoutTensor::new(d_u, Layout::row_major_1d(NX)).expect("bind layout");
 
     let tensor = u_tensor.clone();
@@ -35,7 +37,10 @@ fn main() {
     .expect("launch fill_one");
     ctx.synchronize();
     let filled = u_tensor.to_host().iter().filter(|&&v| v == 1.0).count();
-    println!("fill_one: {filled}/{NX} elements set to 1 on {}", ctx.spec().name);
+    println!(
+        "fill_one: {filled}/{NX} elements set to 1 on {}",
+        ctx.spec().name
+    );
 
     // ------------------------------------------------- one stencil step per device
     println!("\nSeven-point stencil, L = 512, FP64 (effective bandwidth, Eq. 1):");

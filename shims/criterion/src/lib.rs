@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the bench targets use (`Criterion::default()`,
+//! `sample_size`, `configure_from_args`, `benchmark_group`, `bench_function`,
+//! `Bencher::iter`, `final_summary`) as a simple wall-clock harness: each
+//! benchmark closure runs `sample_size` times and the mean/min are printed.
+//! Passing `--test` (as `cargo test --benches` does) runs each benchmark once.
+
+use std::time::Instant;
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Applies command-line configuration (only `--test` is recognised).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the closing summary.
+    pub fn final_summary(&self) {
+        println!("criterion(shim): benchmarks complete");
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let mut bencher = Bencher {
+            samples,
+            total_ns: 0,
+            min_ns: u128::MAX,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if bencher.iterations > 0 {
+            let mean = bencher.total_ns as f64 / bencher.iterations as f64;
+            println!(
+                "{}/{}: mean {:.3} ms, min {:.3} ms ({} iterations)",
+                self.name,
+                id,
+                mean / 1e6,
+                bencher.min_ns as f64 / 1e6,
+                bencher.iterations
+            );
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under measurement.
+pub struct Bencher {
+    samples: usize,
+    total_ns: u128,
+    min_ns: u128,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` `sample_size` times, recording wall-clock durations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed().as_nanos();
+            self.total_ns += elapsed;
+            self.min_ns = self.min_ns.min(elapsed);
+            self.iterations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Criterion;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("unit");
+            group.bench_function("count", |b| b.iter(|| ran += 1));
+            group.finish();
+        }
+        assert_eq!(ran, 2);
+        c.final_summary();
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for `rand`.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen` and
+//! `Rng::gen_range` over a xoshiro256++ generator seeded with splitmix64 —
+//! deterministic, fast, and statistically strong enough for simulation
+//! jitter, synthetic deck generation and property-test sampling.
+
+use std::ops::Range;
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a generator (the `Standard` distribution).
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable uniformly (the argument type of [`Rng::gen_range`]).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($(($t:ty, $ut:ty)),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Two's-complement wrapping arithmetic through the same-width
+                // unsigned type yields a correct uniform offset for signed
+                // ranges (negative starts) and for spans exceeding the signed
+                // maximum alike.
+                let span = self.end.wrapping_sub(self.start) as $ut as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as StandardSample>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<f64>(), c.gen::<f64>());
+    }
+
+    #[test]
+    fn unit_samples_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_samples_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.0f32..6.0);
+            assert!((-2.0..6.0).contains(&x));
+            low |= x < 0.0;
+            high |= x > 4.0;
+        }
+        assert!(low && high);
+        for _ in 0..100 {
+            let n = rng.gen_range(3u32..9);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_starts_sample_correctly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut below_zero = false;
+        for _ in 0..1000 {
+            let n = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&n));
+            below_zero |= n < 0;
+        }
+        assert!(below_zero);
+        // Spans wider than the signed maximum still stay in bounds.
+        for _ in 0..100 {
+            let n = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(n < i64::MAX);
+        }
+    }
+}

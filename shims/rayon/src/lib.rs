@@ -1,0 +1,296 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of rayon this workspace uses — `into_par_iter()` over
+//! integer ranges (`for_each`, `map().collect()`) and `par_chunks_mut` — with
+//! scoped OS threads. Work is distributed over `available_parallelism` worker
+//! threads pulling batches from an atomic counter; on single-core hosts the
+//! implementation degenerates to an inline loop with no thread overhead.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The rayon-style glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSliceMut};
+}
+
+fn worker_count(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len.max(1))
+}
+
+/// Runs `f(i)` for every `i in 0..len`, distributing indices over workers.
+fn parallel_indexed<F: Fn(usize) + Sync>(len: usize, f: F) {
+    let workers = worker_count(len);
+    if workers <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let batch = (len / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                for i in start..(start + batch).min(len) {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Computes `f(i)` for every `i in 0..len` and returns the results in order.
+fn parallel_collect<R: Send, F: Fn(usize) -> R + Sync>(len: usize, f: F) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    {
+        struct Slots<R>(*mut Option<R>);
+        // SAFETY: each index is written by exactly one worker invocation.
+        unsafe impl<R: Send> Sync for Slots<R> {}
+        let slots_ptr = Slots(slots.as_mut_ptr());
+        let slots_ref = &slots_ptr;
+        parallel_indexed(len, move |i| {
+            // SAFETY: `i < len` and every index is visited exactly once, so
+            // writes are disjoint; the Vec outlives the scoped threads.
+            unsafe { *slots_ref.0.add(i) = Some(f(i)) };
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("parallel_collect slot not filled"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The operations this shim's parallel iterators support.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes the iterator, invoking `f` on every element in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F);
+
+    /// Maps every element through `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+}
+
+/// Integer types usable as parallel range bounds.
+pub trait RangeInt: Copy + Send + Sync {
+    /// Number of elements between `start` and `end` (0 if inverted).
+    fn span(start: Self, end: Self) -> usize;
+    /// `start + offset`.
+    fn offset(self, offset: usize) -> Self;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn span(start: Self, end: Self) -> usize {
+                if end > start { (end - start) as usize } else { 0 }
+            }
+            fn offset(self, offset: usize) -> Self {
+                self + offset as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(i32, i64, u32, u64, usize);
+
+/// A parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+impl<T: RangeInt> IntoParallelIterator for Range<T> {
+    type Item = T;
+    type Iter = RangeIter<T>;
+    fn into_par_iter(self) -> RangeIter<T> {
+        RangeIter { range: self }
+    }
+}
+
+impl<T: RangeInt> ParallelIterator for RangeIter<T> {
+    type Item = T;
+    fn for_each<F: Fn(T) + Sync + Send>(self, f: F) {
+        let start = self.range.start;
+        let len = T::span(start, self.range.end);
+        parallel_indexed(len, |i| f(start.offset(i)));
+    }
+}
+
+impl<T: RangeInt> RangeIter<T> {
+    fn len(&self) -> usize {
+        T::span(self.range.start, self.range.end)
+    }
+
+    fn get(&self, i: usize) -> T {
+        self.range.start.offset(i)
+    }
+}
+
+impl<T: RangeInt, F> Map<RangeIter<T>, F> {
+    /// Collects the mapped results in element order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+        C: FromIndexedResults<R>,
+    {
+        let len = self.base.len();
+        let base = &self.base;
+        let f = &self.f;
+        C::from_results(parallel_collect(len, move |i| f(base.get(i))))
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I: ParallelIterator, R: Send, F: Fn(I::Item) -> R + Sync + Send> ParallelIterator
+    for Map<I, F>
+{
+    type Item = R;
+    fn for_each<G: Fn(R) + Sync + Send>(self, g: G) {
+        let f = self.f;
+        self.base.for_each(move |item| g(f(item)));
+    }
+}
+
+/// Collection types constructible from in-order parallel results.
+pub trait FromIndexedResults<R> {
+    /// Builds the collection from ordered results.
+    fn from_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromIndexedResults<R> for Vec<R> {
+    fn from_results(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of `size` elements processed in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        ChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumeratedChunks<'a, T> {
+        EnumeratedChunks {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Invokes `f` on every chunk in parallel.
+    pub fn for_each<F: Fn(&'a mut [T]) + Sync + Send>(self, f: F) {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel chunk iterator.
+pub struct EnumeratedChunks<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumeratedChunks<'a, T> {
+    /// Invokes `f` on every `(index, chunk)` pair in parallel. Chunks are
+    /// distributed round-robin over the worker threads by ownership, so no
+    /// unsynchronised sharing is needed.
+    pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync + Send>(self, f: F) {
+        let workers = worker_count(self.chunks.len());
+        if workers <= 1 {
+            for pair in self.chunks.into_iter().enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        let mut queues: Vec<Vec<(usize, &'a mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in self.chunks.into_iter().enumerate() {
+            queues[i % workers].push((i, chunk));
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for queue in queues {
+                scope.spawn(move || {
+                    for pair in queue {
+                        f(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn range_for_each_visits_everything_once() {
+        let n = 10_000u64;
+        let sum = AtomicU64::new(0);
+        (0..n).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0..1000u64).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_the_slice() {
+        let mut data = vec![0u32; 1037];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[64], 2);
+    }
+}

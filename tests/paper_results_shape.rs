@@ -20,7 +20,10 @@ fn observation1_memory_bound_kernels_are_portable() {
     let mojo_h = stencil7::run(&Platform::portable_h100(), &stencil).unwrap();
     let cuda = stencil7::run(&Platform::cuda_h100(false), &stencil).unwrap();
     let ratio = cuda.seconds() / mojo_h.seconds();
-    assert!(ratio > 0.8 && ratio < 0.95, "stencil Mojo/CUDA ratio {ratio}");
+    assert!(
+        ratio > 0.8 && ratio < 0.95,
+        "stencil Mojo/CUDA ratio {ratio}"
+    );
 }
 
 #[test]
