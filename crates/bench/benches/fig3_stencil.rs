@@ -1,7 +1,7 @@
 //! Bench target for Figure 3 — seven-point stencil bandwidth, Mojo vs
 //! CUDA (H100) and Mojo vs HIP (MI300A).
 
-use criterion::Criterion;
+use criterion::{Criterion, Throughput};
 use experiment_report::ExperimentId;
 use gpu_spec::Precision;
 use science_kernels::stencil7::{self, StencilConfig};
@@ -12,6 +12,7 @@ fn bench(c: &mut Criterion) {
     // Functional execution of the portable stencil on a reduced grid: the
     // simulated-kernel work `cargo bench` actually measures on the host.
     for l in [64usize, 96, 128] {
+        group.throughput(Throughput::Elements((l as u64).pow(3)));
         group.bench_function(format!("portable_laplacian_L{l}"), |b| {
             let platform = Platform::portable_h100();
             let config = StencilConfig::validation(l, Precision::Fp64);

@@ -1,6 +1,6 @@
 //! Bench target for Figure 4 — BabelStream bandwidth on both devices.
 
-use criterion::Criterion;
+use criterion::{Criterion, Throughput};
 use experiment_report::ExperimentId;
 use gpu_spec::Precision;
 use science_kernels::babelstream::{self, BabelStreamConfig};
@@ -11,9 +11,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_babelstream");
     // Functional execution of each portable kernel at 2^20 elements.
     let config = BabelStreamConfig::validation(1 << 20, Precision::Fp64);
+    let platform = Platform::portable_mi300a();
     for op in StreamOp::ALL {
+        // Bytes moved per launch differ per op (2 arrays for Copy/Mul/Dot,
+        // 3 for Add/Triad); reuse the cost model's exact accounting.
+        let bytes = babelstream::stream_cost(&platform, op, &config).total_bytes();
+        group.throughput(Throughput::Bytes(bytes));
         group.bench_function(format!("portable_{}", op.label()), |b| {
-            let platform = Platform::portable_mi300a();
             b.iter(|| babelstream::run(&platform, op, &config).unwrap())
         });
     }

@@ -1,6 +1,6 @@
 //! Bench target for Figure 6 — miniBUDE GFLOP/s vs PPWI on the H100.
 
-use criterion::Criterion;
+use criterion::{Criterion, Throughput};
 use experiment_report::ExperimentId;
 use science_kernels::minibude::{self, MiniBudeConfig};
 use vendor_models::Platform;
@@ -9,9 +9,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_minibude");
     // Functional execution of the portable fasten kernel on a reduced deck.
     for ppwi in [1u32, 4, 16] {
+        let platform = Platform::portable_h100();
+        let config = MiniBudeConfig::validation(ppwi, 64);
+        // Poses actually executed per driver run (normalised() rounds the
+        // count to a multiple of ppwi, so derive it from this exact config).
+        group.throughput(Throughput::Elements(config.executed_poses as u64));
         group.bench_function(format!("portable_fasten_ppwi{ppwi}"), |b| {
-            let platform = Platform::portable_h100();
-            let config = MiniBudeConfig::validation(ppwi, 64);
             b.iter(|| minibude::run(&platform, &config).unwrap())
         });
     }

@@ -1,6 +1,6 @@
 //! Bench target for Figure 7 — miniBUDE GFLOP/s vs PPWI on the MI300A.
 
-use criterion::Criterion;
+use criterion::{Criterion, Throughput};
 use experiment_report::ExperimentId;
 use science_kernels::minibude::{self, MiniBudeConfig};
 use vendor_models::Platform;
@@ -9,9 +9,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_minibude");
     // The HIP-style baseline's functional execution path.
     for wg in [8u32, 64] {
+        let platform = Platform::hip_mi300a(true);
+        let config = MiniBudeConfig::validation(4, wg);
+        // Poses executed per driver run, matching the fig6 twin so the JSON
+        // records expose comparable pose rates across the two devices.
+        group.throughput(Throughput::Elements(config.executed_poses as u64));
         group.bench_function(format!("hip_fasten_wg{wg}"), |b| {
-            let platform = Platform::hip_mi300a(true);
-            let config = MiniBudeConfig::validation(4, wg);
             b.iter(|| minibude::run(&platform, &config).unwrap())
         });
     }

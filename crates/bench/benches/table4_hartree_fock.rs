@@ -2,7 +2,8 @@
 
 use criterion::Criterion;
 use experiment_report::ExperimentId;
-use science_kernels::hartree_fock::{self, HartreeFockConfig, HeliumSystem};
+use science_kernels::cache;
+use science_kernels::hartree_fock::{self, HartreeFockConfig};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
@@ -16,7 +17,7 @@ fn bench(c: &mut Criterion) {
     // The screening count that makes the 1024-atom cost model instantaneous.
     group.bench_function("schwarz_survivor_count_1024_atoms", |b| {
         let config = HartreeFockConfig::paper(1024, 6);
-        let system = HeliumSystem::generate(&config);
+        let system = cache::helium_system(&config);
         b.iter(|| hartree_fock::surviving_quartets(&system.schwarz, config.screening_tol))
     });
     group.finish();

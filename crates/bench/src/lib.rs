@@ -5,6 +5,41 @@
 //! `target/experiments/`), then runs a small Criterion measurement of the
 //! underlying simulated-kernel driver so `cargo bench` also reports how long
 //! the reproduction itself takes.
+//!
+//! # Bench JSON schema
+//!
+//! Besides the console report, every benchmark group exports a
+//! machine-readable record to **`target/bench/<group>.json`** (the directory
+//! honours `CARGO_TARGET_DIR`). The schema is stable across PRs so the files
+//! can be archived per commit and diffed/plotted as a performance
+//! trajectory:
+//!
+//! ```json
+//! {
+//!   "group": "fig4_babelstream",
+//!   "benchmarks": [
+//!     {
+//!       "id": "portable_triad",
+//!       "samples": 10,
+//!       "mean_ns": 1234567.8,
+//!       "min_ns": 1200000,
+//!       "max_ns": 1300000,
+//!       "throughput": { "kind": "bytes", "amount": 8388608,
+//!                       "per_sec": 6794772480.0 }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `samples` — number of timed iterations (1 under `--test`/`--smoke`);
+//! * `mean_ns` / `min_ns` / `max_ns` — wall-clock statistics per iteration;
+//! * `throughput` — present when the group declared one via
+//!   `criterion::Throughput`: `kind` is `"elements"` or `"bytes"`, `amount`
+//!   is the declared work per iteration, `per_sec` is `amount / mean`;
+//!   `null` otherwise.
+//!
+//! CI runs `cargo bench -- --smoke` (single-sample sweep) and uploads the
+//! resulting `target/bench/*.json` as the build's bench artifact.
 
 use experiment_report::{run_experiment, ExperimentId};
 

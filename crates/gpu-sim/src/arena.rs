@@ -1,0 +1,95 @@
+//! Thread-local scratch arena for per-block executor buffers.
+//!
+//! The cooperative engine needs three scratch allocations per simulated block
+//! (shared memory, per-thread register state, completion flags). Allocating
+//! them with `vec!` per block puts the allocator on the hot path of every
+//! launch; this arena recycles the backing storage per worker thread instead.
+//! Buffers are keyed by element type and handed out empty (length 0, capacity
+//! preserved), so a chunk of blocks reuses one allocation for all its blocks.
+//!
+//! Nesting is supported: taking a second buffer of the same type while one is
+//! outstanding simply allocates a fresh vector (the arena keeps a stack per
+//! type). If the closure panics the buffer is dropped rather than recycled,
+//! which keeps the arena state trivially correct.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+thread_local! {
+    /// Recycled buffers of this thread, a stack of `Vec<T>` per element type.
+    static ARENA: RefCell<HashMap<TypeId, Vec<Box<dyn Any>>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with a recycled (empty, possibly pre-allocated) `Vec<T>`; the
+/// vector's storage is returned to this thread's arena afterwards.
+pub fn with_scratch<T: 'static + Send, R>(f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+    let mut buffer: Vec<T> = ARENA
+        .with(|arena| {
+            arena
+                .borrow_mut()
+                .get_mut(&TypeId::of::<Vec<T>>())
+                .and_then(|stack| stack.pop())
+        })
+        .map(|boxed| *boxed.downcast::<Vec<T>>().expect("arena type key mismatch"))
+        .unwrap_or_default();
+
+    let result = f(&mut buffer);
+
+    buffer.clear();
+    ARENA.with(|arena| {
+        arena
+            .borrow_mut()
+            .entry(TypeId::of::<Vec<T>>())
+            .or_default()
+            .push(Box::new(buffer));
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_recycled_with_capacity() {
+        let ptr = with_scratch::<u64, _>(|buf| {
+            buf.resize(4096, 0);
+            buf.as_ptr() as usize
+        });
+        // The very next borrow of the same type reuses the allocation.
+        let (ptr2, len) = with_scratch::<u64, _>(|buf| {
+            assert!(buf.is_empty(), "recycled buffers are handed out empty");
+            assert!(buf.capacity() >= 4096);
+            buf.push(7);
+            (buf.as_ptr() as usize, buf.len())
+        });
+        assert_eq!(ptr, ptr2);
+        assert_eq!(len, 1);
+    }
+
+    #[test]
+    fn nested_borrows_of_the_same_type_get_distinct_buffers() {
+        with_scratch::<f64, _>(|outer| {
+            outer.push(1.0);
+            with_scratch::<f64, _>(|inner| {
+                inner.push(2.0);
+                assert_ne!(outer.as_ptr(), inner.as_ptr());
+            });
+            assert_eq!(outer.len(), 1);
+        });
+    }
+
+    #[test]
+    fn distinct_types_do_not_collide() {
+        with_scratch::<u8, _>(|bytes| {
+            bytes.resize(16, 0xAB);
+            with_scratch::<f32, _>(|floats| {
+                floats.resize(16, 1.5);
+                assert!(floats.iter().all(|&v| v == 1.5));
+            });
+            assert!(bytes.iter().all(|&v| v == 0xAB));
+        });
+    }
+}

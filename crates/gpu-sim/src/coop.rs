@@ -15,6 +15,7 @@
 //! lives in the kernel's `ThreadState` associated type, playing the role of
 //! registers.
 
+use crate::arena;
 use crate::dim::{Dim3, LaunchConfig};
 use crate::exec::ThreadCtx;
 use rayon::prelude::*;
@@ -35,10 +36,12 @@ pub enum PhaseOutcome {
 /// Each phase boundary corresponds to a `barrier()` in the CUDA/HIP/Mojo
 /// source. Threads that are already done are not called again.
 pub trait CoopKernel: Sync {
-    /// Element type of the block's shared-memory scratch array.
-    type Shared: Copy + Default + Send + Sync;
+    /// Element type of the block's shared-memory scratch array. (`'static` so
+    /// the engine can recycle scratch storage through the thread-local
+    /// [`crate::arena`].)
+    type Shared: Copy + Default + Send + Sync + 'static;
     /// Thread-private state that persists across phases ("registers").
-    type ThreadState: Default + Send;
+    type ThreadState: Default + Send + 'static;
 
     /// Length (in elements) of the shared array each block allocates.
     fn shared_len(&self, block_dim: Dim3) -> usize;
@@ -61,54 +64,88 @@ pub struct CoopLaunch;
 const MAX_PHASES: usize = 1_000_000;
 
 impl CoopLaunch {
-    /// Runs `kernel` over the launch configuration. Blocks execute in
-    /// parallel; threads within a block follow the bulk-synchronous schedule
-    /// described in the module documentation.
+    /// Runs `kernel` over the launch configuration. Contiguous chunks of
+    /// blocks execute in parallel on the persistent pool; threads within a
+    /// block follow the bulk-synchronous schedule described in the module
+    /// documentation. The shared/state/flag scratch buffers of a chunk come
+    /// from the worker's thread-local [`crate::arena`] and are reused across
+    /// every block of the chunk instead of being reallocated per block.
     pub fn run<K: CoopKernel>(cfg: &LaunchConfig, kernel: &K) {
         let grid = cfg.grid;
         let block = cfg.block;
         let threads_per_block = cfg.threads_per_block() as usize;
+        let shared_len = kernel.shared_len(block);
+        let num_blocks = cfg.num_blocks();
+        let chunk = crate::exec::block_chunk_len(num_blocks);
+        let num_chunks = num_blocks.div_ceil(chunk);
 
-        (0..cfg.num_blocks())
-            .into_par_iter()
-            .for_each(|block_linear| {
-                let (bx, by, bz) = grid.delinearize(block_linear);
-                let block_idx = Dim3::new(bx, by, bz);
-
-                let mut shared = vec![K::Shared::default(); kernel.shared_len(block)];
-                let mut states: Vec<K::ThreadState> = (0..threads_per_block)
-                    .map(|_| K::ThreadState::default())
-                    .collect();
-                let mut done = vec![false; threads_per_block];
-                let mut remaining = threads_per_block;
-
-                let mut phase = 0usize;
-                while remaining > 0 {
-                    assert!(
-                        phase < MAX_PHASES,
-                        "cooperative kernel did not converge within {MAX_PHASES} phases"
-                    );
-                    for thread_linear in 0..threads_per_block {
-                        if done[thread_linear] {
-                            continue;
+        (0..num_chunks).into_par_iter().for_each(|chunk_index| {
+            arena::with_scratch(|shared: &mut Vec<K::Shared>| {
+                arena::with_scratch(|states: &mut Vec<K::ThreadState>| {
+                    arena::with_scratch(|done: &mut Vec<bool>| {
+                        let start = chunk_index * chunk;
+                        let end = (start + chunk).min(num_blocks);
+                        for block_linear in start..end {
+                            let (bx, by, bz) = grid.delinearize(block_linear);
+                            shared.clear();
+                            shared.resize(shared_len, K::Shared::default());
+                            states.clear();
+                            states.resize_with(threads_per_block, K::ThreadState::default);
+                            done.clear();
+                            done.resize(threads_per_block, false);
+                            Self::run_block(
+                                kernel,
+                                Dim3::new(bx, by, bz),
+                                block,
+                                grid,
+                                shared,
+                                states,
+                                done,
+                            );
                         }
-                        let (tx, ty, tz) = block.delinearize(thread_linear as u64);
-                        let ctx = ThreadCtx {
-                            thread_idx: Dim3::new(tx, ty, tz),
-                            block_idx,
-                            block_dim: block,
-                            grid_dim: grid,
-                        };
-                        let outcome =
-                            kernel.phase(phase, ctx, &mut states[thread_linear], &mut shared);
-                        if outcome == PhaseOutcome::Done {
-                            done[thread_linear] = true;
-                            remaining -= 1;
-                        }
-                    }
-                    phase += 1;
-                }
+                    })
+                })
             });
+        });
+    }
+
+    /// Runs one block to completion using caller-provided scratch buffers.
+    fn run_block<K: CoopKernel>(
+        kernel: &K,
+        block_idx: Dim3,
+        block: Dim3,
+        grid: Dim3,
+        shared: &mut [K::Shared],
+        states: &mut [K::ThreadState],
+        done: &mut [bool],
+    ) {
+        let threads_per_block = states.len();
+        let mut remaining = threads_per_block;
+        let mut phase = 0usize;
+        while remaining > 0 {
+            assert!(
+                phase < MAX_PHASES,
+                "cooperative kernel did not converge within {MAX_PHASES} phases"
+            );
+            for thread_linear in 0..threads_per_block {
+                if done[thread_linear] {
+                    continue;
+                }
+                let (tx, ty, tz) = block.delinearize(thread_linear as u64);
+                let ctx = ThreadCtx {
+                    thread_idx: Dim3::new(tx, ty, tz),
+                    block_idx,
+                    block_dim: block,
+                    grid_dim: grid,
+                };
+                let outcome = kernel.phase(phase, ctx, &mut states[thread_linear], shared);
+                if outcome == PhaseOutcome::Done {
+                    done[thread_linear] = true;
+                    remaining -= 1;
+                }
+            }
+            phase += 1;
+        }
     }
 }
 

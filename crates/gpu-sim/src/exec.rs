@@ -3,14 +3,26 @@
 //! All four of the paper's kernels except the BabelStream `dot` reduction are
 //! "flat": every thread computes its global index from
 //! `block_idx * block_dim + thread_idx` and works independently, with no
-//! barriers or shared memory. The executor runs those kernels by iterating
-//! over the launch's blocks in parallel (rayon) and over the threads within a
-//! block sequentially, handing each invocation a [`ThreadCtx`] that plays the
-//! role of Mojo/CUDA's `thread_idx` / `block_idx` / `block_dim` / `grid_dim`
-//! builtins.
+//! barriers or shared memory. The executor runs those kernels with a *chunked
+//! block scheduler*: the launch's blocks are grouped into contiguous chunks,
+//! each chunk becomes one task on the persistent rayon pool, and the threads
+//! of a block run sequentially via nested x/y/z loops (no per-thread
+//! div/mod delinearisation). Each invocation receives a [`ThreadCtx`] that
+//! plays the role of Mojo/CUDA's `thread_idx` / `block_idx` / `block_dim` /
+//! `grid_dim` builtins.
 
 use crate::dim::{Dim3, LaunchConfig};
 use rayon::prelude::*;
+
+/// Number of chunks targeted per pool worker. A few chunks per worker keeps
+/// the pool's deques stealable without paying scheduling overhead per block.
+const CHUNKS_PER_WORKER: u64 = 4;
+
+/// Blocks per scheduler chunk for a launch of `num_blocks` blocks.
+pub(crate) fn block_chunk_len(num_blocks: u64) -> u64 {
+    let workers = rayon::current_num_threads() as u64;
+    num_blocks.div_ceil(workers * CHUNKS_PER_WORKER).max(1)
+}
 
 /// Per-thread launch coordinates, mirroring the GPU builtins used in the
 /// paper's listings.
@@ -65,11 +77,35 @@ impl ThreadCtx {
     }
 }
 
+/// Runs every thread of one block sequentially, in linear order (x fastest),
+/// mutating a single [`ThreadCtx`] instead of rebuilding one per thread.
+#[inline]
+pub(crate) fn run_block<F>(kernel: &F, block_idx: Dim3, block: Dim3, grid: Dim3)
+where
+    F: Fn(ThreadCtx),
+{
+    let mut ctx = ThreadCtx {
+        thread_idx: Dim3::new(0, 0, 0),
+        block_idx,
+        block_dim: block,
+        grid_dim: grid,
+    };
+    for tz in 0..block.z {
+        for ty in 0..block.y {
+            for tx in 0..block.x {
+                ctx.thread_idx = Dim3::new(tx, ty, tz);
+                kernel(ctx);
+            }
+        }
+    }
+}
+
 /// Runs `kernel` once for every thread of the launch.
 ///
-/// Blocks are distributed over the host's cores with rayon; threads within a
-/// block run sequentially. Because flat kernels have no intra-block
-/// communication, this schedule is observationally equivalent to any other.
+/// Contiguous chunks of blocks are distributed over the persistent pool;
+/// threads within a block run sequentially. Because flat kernels have no
+/// intra-block communication, this schedule is observationally equivalent to
+/// any other.
 pub fn launch_flat<F>(cfg: &LaunchConfig, kernel: F)
 where
     F: Fn(ThreadCtx) + Sync,
@@ -77,20 +113,15 @@ where
     let grid = cfg.grid;
     let block = cfg.block;
     let num_blocks = cfg.num_blocks();
-    let threads_per_block = cfg.threads_per_block();
+    let chunk = block_chunk_len(num_blocks);
+    let num_chunks = num_blocks.div_ceil(chunk);
 
-    (0..num_blocks).into_par_iter().for_each(|block_linear| {
-        let (bx, by, bz) = grid.delinearize(block_linear);
-        let block_idx = Dim3::new(bx, by, bz);
-        for thread_linear in 0..threads_per_block {
-            let (tx, ty, tz) = block.delinearize(thread_linear);
-            let ctx = ThreadCtx {
-                thread_idx: Dim3::new(tx, ty, tz),
-                block_idx,
-                block_dim: block,
-                grid_dim: grid,
-            };
-            kernel(ctx);
+    (0..num_chunks).into_par_iter().for_each(|chunk_index| {
+        let start = chunk_index * chunk;
+        let end = (start + chunk).min(num_blocks);
+        for block_linear in start..end {
+            let (bx, by, bz) = grid.delinearize(block_linear);
+            run_block(&kernel, Dim3::new(bx, by, bz), block, grid);
         }
     });
 }

@@ -14,9 +14,11 @@
 //!   kernel author's responsibility, exactly as on real devices);
 //! * [`dim`] — `Dim3` grids/blocks and validated launch configurations;
 //! * [`exec`] — the flat executor that runs one closure per simulated thread,
-//!   parallelised over blocks with rayon;
+//!   scheduling contiguous chunks of blocks onto the persistent rayon pool;
 //! * [`coop`] — a bulk-synchronous engine for kernels that use block shared
 //!   memory and barriers (the BabelStream `dot` reduction);
+//! * [`arena`] — a thread-local scratch arena recycling the executors'
+//!   per-block buffers across launches;
 //! * [`atomics`] — device-global atomic operations (FP64/FP32 `fetch_add`);
 //! * [`stats`] — the analytic cost description of a launch (bytes moved,
 //!   FLOPs by class, atomics, access pattern);
@@ -27,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod atomics;
 pub mod coop;
 pub mod dim;

@@ -9,6 +9,7 @@ use super::cost::hartree_fock_cost;
 use super::geometry::HeliumSystem;
 use super::reference::{quartet_eri, reference_fock};
 use super::triangular::pair_decode;
+use crate::cache;
 use crate::common::{compare_slices, Verification, WorkloadRun};
 use gpu_sim::{launch_flat, Device, SimError};
 use vendor_models::{heuristics, KernelClass, Platform};
@@ -18,7 +19,7 @@ pub fn run_vendor(
     platform: &Platform,
     config: &HartreeFockConfig,
 ) -> Result<WorkloadRun, SimError> {
-    let system = HeliumSystem::generate(config);
+    let system = cache::helium_system(config);
     let cost = hartree_fock_cost(config, &system);
     let class = KernelClass::HartreeFock {
         natoms: config.natoms,

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod babelstream;
+pub mod cache;
 pub mod common;
 pub mod hartree_fock;
 pub mod minibude;

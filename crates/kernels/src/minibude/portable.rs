@@ -10,8 +10,8 @@
 
 use super::config::MiniBudeConfig;
 use super::cost::fasten_cost;
-use super::deck::Deck;
 use super::reference::{pair_energy, reference_energies, transform_point, HALF};
+use crate::cache;
 use crate::common::{compare_slices_f32, Verification, WorkloadRun};
 use gpu_sim::SimError;
 use portable_kernel::prelude::*;
@@ -124,7 +124,7 @@ fn fasten_kernel<const PPWI: usize>(t: ThreadCtx, args: &FastenArgs) {
 }
 
 fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification, SimError> {
-    let deck = Deck::generate(config);
+    let deck = cache::minibude_deck(config);
     let nposes = config.executed_poses;
     let ctx = DeviceContext::new(platform.spec.clone());
 

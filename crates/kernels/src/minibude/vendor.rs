@@ -7,8 +7,8 @@
 
 use super::config::MiniBudeConfig;
 use super::cost::fasten_cost;
-use super::deck::Deck;
 use super::reference::{pair_energy, reference_energies, transform_point, HALF};
+use crate::cache;
 use crate::common::{compare_slices_f32, Verification, WorkloadRun};
 use gpu_sim::memory::DeviceBuffer;
 use gpu_sim::{launch_flat, Device, SimError};
@@ -54,7 +54,7 @@ fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification,
             config.ppwi
         )));
     }
-    let deck = Deck::generate(config);
+    let deck = cache::minibude_deck(config);
     let nposes = config.executed_poses;
     let device = Device::new(platform.spec.clone());
 

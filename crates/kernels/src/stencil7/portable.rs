@@ -8,7 +8,8 @@
 
 use super::config::StencilConfig;
 use super::cost::stencil_cost;
-use super::reference::{initialize_grid, reference_laplacian};
+use super::reference::reference_laplacian;
+use crate::cache;
 use crate::common::{compare_slices, Verification, WorkloadRun};
 use crate::real::Real;
 use gpu_sim::SimError;
@@ -82,7 +83,7 @@ fn execute<T: Real>(platform: &Platform, config: &StencilConfig) -> Result<Verif
     let layout = Layout::row_major_3d(l, l, l);
     let (invhx2, invhy2, invhz2, invhxyz2) = config.coefficients();
 
-    let u_host_f64 = initialize_grid(config);
+    let u_host_f64 = cache::stencil_grid(config);
     let u_host: Vec<T> = u_host_f64.iter().map(|&v| T::from_f64(v)).collect();
 
     let ctx = DeviceContext::new(platform.spec.clone());

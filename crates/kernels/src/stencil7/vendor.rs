@@ -10,7 +10,8 @@
 
 use super::config::StencilConfig;
 use super::cost::stencil_cost;
-use super::reference::{initialize_grid, reference_laplacian};
+use super::reference::reference_laplacian;
+use crate::cache;
 use crate::common::{compare_slices, Verification, WorkloadRun};
 use crate::real::Real;
 use gpu_sim::{launch_flat, Device, SimError};
@@ -53,7 +54,7 @@ pub fn run_vendor(platform: &Platform, config: &StencilConfig) -> Result<Workloa
 fn execute<T: Real>(platform: &Platform, config: &StencilConfig) -> Result<Verification, SimError> {
     let l = config.l;
     let (invhx2, invhy2, invhz2, invhxyz2) = config.coefficients();
-    let u_host_f64 = initialize_grid(config);
+    let u_host_f64 = cache::stencil_grid(config);
     let u_host: Vec<T> = u_host_f64.iter().map(|&v| T::from_f64(v)).collect();
 
     let device = Device::new(platform.spec.clone());

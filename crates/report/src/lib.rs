@@ -29,5 +29,5 @@ pub mod registry;
 pub mod render;
 pub mod report;
 
-pub use registry::{all_experiments, run_experiment, ExperimentId};
+pub use registry::{all_experiments, run_experiment, run_experiments, ExperimentId};
 pub use report::ExperimentReport;

@@ -1,5 +1,5 @@
 //! Convenience prelude for experiment drivers (examples and benches).
 
-pub use crate::registry::{all_experiments, run_experiment, ExperimentId};
+pub use crate::registry::{all_experiments, run_experiment, run_experiments, ExperimentId};
 pub use crate::render::{AsciiTable, Series};
 pub use crate::report::ExperimentReport;

@@ -3,17 +3,22 @@
 //!
 //! Run with `cargo run --release --example portability_report`.
 //! Pass experiment ids (e.g. `table4 fig6`) to regenerate a subset.
+//!
+//! Independent experiments are dispatched concurrently over the persistent
+//! rayon pool (set `RAYON_NUM_THREADS=1` for a serial run); the console and
+//! CSV output is identical either way.
 
-use mojo_hpc::report::{all_experiments, run_experiment, ExperimentId};
+use mojo_hpc::report::{run_experiments, ExperimentId};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let reports = if args.is_empty() {
-        all_experiments()
+    let ids: Vec<ExperimentId> = if args.is_empty() {
+        ExperimentId::ALL.to_vec()
     } else {
         args.iter()
             .map(|arg| {
-                let id: ExperimentId = arg.parse().unwrap_or_else(|e| {
+                arg.parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
                     eprintln!(
                         "known ids: {}",
@@ -24,11 +29,14 @@ fn main() {
                             .join(", ")
                     );
                     std::process::exit(2);
-                });
-                run_experiment(id)
+                })
             })
             .collect()
     };
+
+    let started = Instant::now();
+    let reports = run_experiments(&ids);
+    let elapsed = started.elapsed();
 
     for report in reports {
         println!("{}", report.render());
@@ -42,4 +50,9 @@ fn main() {
         }
         println!();
     }
+    eprintln!(
+        "regenerated {} experiment(s) in {:.3} s",
+        ids.len(),
+        elapsed.as_secs_f64()
+    );
 }

@@ -1,16 +1,83 @@
 //! Offline stand-in for `criterion`.
 //!
 //! Implements the API subset the bench targets use (`Criterion::default()`,
-//! `sample_size`, `configure_from_args`, `benchmark_group`, `bench_function`,
-//! `Bencher::iter`, `final_summary`) as a simple wall-clock harness: each
-//! benchmark closure runs `sample_size` times and the mean/min are printed.
-//! Passing `--test` (as `cargo test --benches` does) runs each benchmark once.
+//! `sample_size`, `configure_from_args`, `benchmark_group`, `throughput`,
+//! `bench_function`, `Bencher::iter`, `final_summary`) as a wall-clock
+//! harness: each benchmark closure runs `sample_size` times and mean/min/max
+//! are printed, with elements- or bytes-per-second rates when the group
+//! declares a [`Throughput`].
+//!
+//! On top of the console report, every finished group exports a
+//! machine-readable record to `target/bench/<group>.json` (schema documented
+//! on [`BenchmarkGroup::finish`]) so bench history can be tracked across
+//! commits by diffing or plotting the JSON trajectory.
+//!
+//! Recognised command-line flags (as passed by `cargo bench -- <flags>`):
+//! `--test` (cargo's bench-as-test mode) and `--smoke` both reduce every
+//! benchmark to a single sample, making a full `cargo bench -- --smoke` sweep
+//! cheap enough for CI while still exercising every target and emitting the
+//! JSON artifacts.
 
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Prevents the optimiser from deleting a benchmarked computation.
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
+}
+
+/// Work performed per benchmark iteration, enabling rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements (poses, cells, …).
+    Elements(u64),
+    /// Iterations move this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn amount(&self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => *n,
+        }
+    }
+
+    fn unit(&self) -> &'static str {
+        match self {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Throughput::Elements(_) => "elements",
+            Throughput::Bytes(_) => "bytes",
+        }
+    }
+}
+
+/// One measured benchmark, as exported to the JSON record.
+#[derive(Debug, Clone)]
+struct Measurement {
+    id: String,
+    samples: u64,
+    mean_ns: f64,
+    min_ns: u128,
+    max_ns: u128,
+    throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Units of declared work per second, computed from the mean time.
+    fn rate_per_sec(&self) -> Option<f64> {
+        let throughput = self.throughput.as_ref()?;
+        if self.mean_ns <= 0.0 {
+            return None;
+        }
+        Some(throughput.amount() as f64 * 1e9 / self.mean_ns)
+    }
 }
 
 /// The top-level benchmark driver.
@@ -36,9 +103,10 @@ impl Criterion {
         self
     }
 
-    /// Applies command-line configuration (only `--test` is recognised).
+    /// Applies command-line configuration: `--test` (cargo bench-as-test) and
+    /// `--smoke` (CI smoke sweep) both clamp every benchmark to one sample.
     pub fn configure_from_args(mut self) -> Self {
-        if std::env::args().any(|a| a == "--test") {
+        if std::env::args().any(|a| a == "--test" || a == "--smoke") {
             self.test_mode = true;
         }
         self
@@ -50,6 +118,8 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: None,
+            throughput: None,
+            measurements: Vec::new(),
         }
     }
 
@@ -59,17 +129,48 @@ impl Criterion {
     }
 }
 
+/// Directory for the JSON bench records: `target/bench/` under the workspace
+/// root, honouring `CARGO_TARGET_DIR`.
+///
+/// Cargo runs bench binaries with the *package* directory as the working
+/// directory, so a relative `target/` would scatter records across member
+/// crates; instead the workspace root is located by walking up to the
+/// directory holding `Cargo.lock`.
+pub fn bench_dir() -> PathBuf {
+    if let Ok(base) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(base).join("bench");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("bench");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target").join("bench");
+        }
+    }
+}
+
 /// A named group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+    measurements: Vec<Measurement>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Overrides the sample count for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares the work performed per iteration of the following benchmarks;
+    /// their reports gain an elements- or bytes-per-second rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -88,25 +189,131 @@ impl BenchmarkGroup<'_> {
             samples,
             total_ns: 0,
             min_ns: u128::MAX,
+            max_ns: 0,
             iterations: 0,
         };
         f(&mut bencher);
         if bencher.iterations > 0 {
-            let mean = bencher.total_ns as f64 / bencher.iterations as f64;
-            println!(
+            let measurement = Measurement {
+                id,
+                samples: bencher.iterations,
+                mean_ns: bencher.total_ns as f64 / bencher.iterations as f64,
+                min_ns: bencher.min_ns,
+                max_ns: bencher.max_ns,
+                throughput: self.throughput,
+            };
+            let mut line = format!(
                 "{}/{}: mean {:.3} ms, min {:.3} ms ({} iterations)",
                 self.name,
-                id,
-                mean / 1e6,
-                bencher.min_ns as f64 / 1e6,
-                bencher.iterations
+                measurement.id,
+                measurement.mean_ns / 1e6,
+                measurement.min_ns as f64 / 1e6,
+                measurement.samples
             );
+            if let (Some(rate), Some(throughput)) =
+                (measurement.rate_per_sec(), measurement.throughput.as_ref())
+            {
+                let _ = write!(line, ", {:.3e} {}", rate, throughput.unit());
+            }
+            println!("{line}");
+            self.measurements.push(measurement);
         }
         self
     }
 
-    /// Ends the group.
-    pub fn finish(self) {}
+    /// Ends the group, writing its JSON record to
+    /// `target/bench/<group>.json`.
+    ///
+    /// Schema (stable across PRs; see the `bench` crate docs):
+    ///
+    /// ```json
+    /// {
+    ///   "group": "<group name>",
+    ///   "benchmarks": [
+    ///     {
+    ///       "id": "<benchmark id>",
+    ///       "samples": <u64>,
+    ///       "mean_ns": <f64>,
+    ///       "min_ns": <u64>,
+    ///       "max_ns": <u64>,
+    ///       "throughput": { "kind": "elements"|"bytes", "amount": <u64>,
+    ///                        "per_sec": <f64> } | null
+    ///     }
+    ///   ]
+    /// }
+    /// ```
+    pub fn finish(self) {
+        if self.measurements.is_empty() {
+            return;
+        }
+        let path = bench_dir().join(format!("{}.json", self.name));
+        match write_json_record(&path, &self.name, &self.measurements) {
+            Ok(()) => println!("criterion(shim): wrote {}", path.display()),
+            Err(err) => eprintln!("criterion(shim): failed to write {}: {err}", path.display()),
+        }
+    }
+}
+
+/// Serialises measurements by hand — the shim stays dependency-free, and the
+/// schema is flat enough that a formatter is more code than the emitter.
+fn write_json_record(
+    path: &std::path::Path,
+    group: &str,
+    measurements: &[Measurement],
+) -> std::io::Result<()> {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"group\": {},", json_string(group));
+    json.push_str("  \"benchmarks\": [\n");
+    for (index, m) in measurements.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"id\": {},", json_string(&m.id));
+        let _ = writeln!(json, "      \"samples\": {},", m.samples);
+        let _ = writeln!(json, "      \"mean_ns\": {:.1},", m.mean_ns);
+        let _ = writeln!(json, "      \"min_ns\": {},", m.min_ns);
+        let _ = writeln!(json, "      \"max_ns\": {},", m.max_ns);
+        match (&m.throughput, m.rate_per_sec()) {
+            (Some(t), Some(rate)) => {
+                let _ = writeln!(
+                    json,
+                    "      \"throughput\": {{ \"kind\": \"{}\", \"amount\": {}, \"per_sec\": {:.1} }}",
+                    t.kind(),
+                    t.amount(),
+                    rate
+                );
+            }
+            _ => json.push_str("      \"throughput\": null\n"),
+        }
+        json.push_str(if index + 1 < measurements.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, json)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Passed to each benchmark closure; times the routine under measurement.
@@ -114,6 +321,7 @@ pub struct Bencher {
     samples: usize,
     total_ns: u128,
     min_ns: u128,
+    max_ns: u128,
     iterations: u64,
 }
 
@@ -126,6 +334,7 @@ impl Bencher {
             let elapsed = start.elapsed().as_nanos();
             self.total_ns += elapsed;
             self.min_ns = self.min_ns.min(elapsed);
+            self.max_ns = self.max_ns.max(elapsed);
             self.iterations += 1;
         }
     }
@@ -133,18 +342,52 @@ impl Bencher {
 
 #[cfg(test)]
 mod tests {
-    use super::Criterion;
+    use super::*;
 
     #[test]
     fn bench_group_runs_closures() {
         let mut c = Criterion::default().sample_size(2);
         let mut ran = 0u32;
         {
-            let mut group = c.benchmark_group("unit");
+            let mut group = c.benchmark_group("unit-shim-run");
             group.bench_function("count", |b| b.iter(|| ran += 1));
             group.finish();
         }
         assert_eq!(ran, 2);
         c.final_summary();
+        std::fs::remove_file(bench_dir().join("unit-shim-run.json")).ok();
+    }
+
+    #[test]
+    fn json_record_has_schema_fields_and_throughput() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut group = c.benchmark_group("unit-shim-json");
+            group.throughput(Throughput::Elements(1000));
+            group.bench_function("spin", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+            group.finish();
+        }
+        let path = bench_dir().join("unit-shim-json.json");
+        let json = std::fs::read_to_string(&path).expect("bench JSON written");
+        for needle in [
+            "\"group\": \"unit-shim-json\"",
+            "\"id\": \"spin\"",
+            "\"samples\": 3",
+            "\"mean_ns\":",
+            "\"min_ns\":",
+            "\"max_ns\":",
+            "\"kind\": \"elements\"",
+            "\"amount\": 1000",
+            "\"per_sec\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\u0009here\"");
     }
 }

@@ -1,71 +1,123 @@
 //! Offline stand-in for `rayon`.
 //!
 //! Implements the slice of rayon this workspace uses — `into_par_iter()` over
-//! integer ranges (`for_each`, `map().collect()`) and `par_chunks_mut` — with
-//! scoped OS threads. Work is distributed over `available_parallelism` worker
-//! threads pulling batches from an atomic counter; on single-core hosts the
-//! implementation degenerates to an inline loop with no thread overhead.
+//! integer ranges (`for_each`, `map().collect()`), `par_chunks_mut`,
+//! [`join`], and `ThreadPoolBuilder::install` for single-threaded runs — on
+//! top of a **persistent work-stealing thread pool** ([`pool`]). Workers are
+//! spawned once per process and kept alive; every parallel region is split
+//! into per-worker deque segments with batch stealing, so a kernel launch
+//! costs a queue push rather than a round of `std::thread::spawn`/`join`.
+//! `RAYON_NUM_THREADS` overrides the worker count; with one hardware thread
+//! (or `RAYON_NUM_THREADS=1`) everything degenerates to inline loops with no
+//! thread overhead.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod pool;
+
+pub use pool::{current_num_threads, join};
 
 /// The rayon-style glob import.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSliceMut};
 }
 
-fn worker_count(len: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(len.max(1))
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the one configuration the
+/// workspace needs: a serial (one-thread) pool for determinism tests.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
 }
 
-/// Runs `f(i)` for every `i in 0..len`, distributing indices over workers.
-fn parallel_indexed<F: Fn(usize) + Sync>(len: usize, f: F) {
-    let workers = worker_count(len);
-    if workers <= 1 {
-        for i in 0..len {
-            f(i);
-        }
-        return;
+impl ThreadPoolBuilder {
+    /// Creates a builder with default (global pool) settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
     }
-    let batch = (len / (workers * 8)).max(1);
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(batch, Ordering::Relaxed);
-                if start >= len {
-                    break;
-                }
-                for i in start..(start + batch).min(len) {
-                    f(i);
-                }
-            });
-        }
-    });
+
+    /// Requests a specific thread count (`1` gives strictly serial scopes).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool handle. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
 }
+
+/// A pool handle from [`ThreadPoolBuilder`]. With `num_threads(1)` its
+/// `install` runs every nested parallel scope inline on the calling thread;
+/// other counts delegate to the process-global pool (the shim does not build
+/// additional worker sets).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's execution policy installed on the current
+    /// thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.num_threads == 1 {
+            pool::run_serial(f)
+        } else {
+            f()
+        }
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..len`, distributing index segments over the
+/// persistent pool.
+fn parallel_indexed<F: Fn(usize) + Sync>(len: usize, f: F) {
+    pool::scope_indexed(len, &f);
+}
+
+/// A cell handing one indexed `&mut` chunk to exactly one pool task.
+type ChunkCell<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
 
 /// Computes `f(i)` for every `i in 0..len` and returns the results in order.
+///
+/// Safe disjoint-chunk implementation: the output is split into
+/// non-overlapping `&mut` chunks up front, each chunk is handed to exactly
+/// one pool task through a take-once cell, and every task writes only its own
+/// chunk — no raw-pointer aliasing anywhere.
 fn parallel_collect<R: Send, F: Fn(usize) -> R + Sync>(len: usize, f: F) -> Vec<R> {
     let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let chunk_size = collect_chunk_size(len);
     {
-        struct Slots<R>(*mut Option<R>);
-        // SAFETY: each index is written by exactly one worker invocation.
-        unsafe impl<R: Send> Sync for Slots<R> {}
-        let slots_ptr = Slots(slots.as_mut_ptr());
-        let slots_ref = &slots_ptr;
-        parallel_indexed(len, move |i| {
-            // SAFETY: `i < len` and every index is visited exactly once, so
-            // writes are disjoint; the Vec outlives the scoped threads.
-            unsafe { *slots_ref.0.add(i) = Some(f(i)) };
+        let chunks: Vec<ChunkCell<'_, Option<R>>> = slots
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect();
+        pool::scope_indexed(chunks.len(), &|task| {
+            let taken = chunks[task]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take();
+            let (chunk_index, chunk) = taken.expect("collect chunk taken twice");
+            let base = chunk_index * chunk_size;
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(f(base + offset));
+            }
         });
     }
     slots
         .into_iter()
         .map(|slot| slot.expect("parallel_collect slot not filled"))
         .collect()
+}
+
+/// Chunk granularity for ordered collection: enough chunks to keep every
+/// worker busy (and stealable), large enough to amortise the per-chunk cell.
+fn collect_chunk_size(len: usize) -> usize {
+    let tasks = current_num_threads() * 8;
+    len.div_ceil(tasks.max(1)).max(1)
 }
 
 /// Conversion into a parallel iterator.
@@ -229,30 +281,19 @@ pub struct EnumeratedChunks<'a, T> {
 }
 
 impl<'a, T: Send> EnumeratedChunks<'a, T> {
-    /// Invokes `f` on every `(index, chunk)` pair in parallel. Chunks are
-    /// distributed round-robin over the worker threads by ownership, so no
-    /// unsynchronised sharing is needed.
+    /// Invokes `f` on every `(index, chunk)` pair in parallel. Each chunk is
+    /// owned by exactly one pool task (moved out of a take-once cell), so the
+    /// mutable borrows never alias.
     pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync + Send>(self, f: F) {
-        let workers = worker_count(self.chunks.len());
-        if workers <= 1 {
-            for pair in self.chunks.into_iter().enumerate() {
-                f(pair);
-            }
-            return;
-        }
-        let mut queues: Vec<Vec<(usize, &'a mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, chunk) in self.chunks.into_iter().enumerate() {
-            queues[i % workers].push((i, chunk));
-        }
-        let f = &f;
-        std::thread::scope(|scope| {
-            for queue in queues {
-                scope.spawn(move || {
-                    for pair in queue {
-                        f(pair);
-                    }
-                });
-            }
+        let cells: Vec<ChunkCell<'a, T>> = self
+            .chunks
+            .into_iter()
+            .enumerate()
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect();
+        pool::scope_indexed(cells.len(), &|i| {
+            let taken = cells[i].lock().unwrap_or_else(|e| e.into_inner()).take();
+            f(taken.expect("chunk taken twice"));
         });
     }
 }
@@ -292,5 +333,26 @@ mod tests {
         assert!(data.iter().all(|&v| v > 0));
         assert_eq!(data[0], 1);
         assert_eq!(data[64], 2);
+    }
+
+    #[test]
+    fn serial_install_matches_parallel_results() {
+        let parallel: Vec<u64> = (0..512u64).into_par_iter().map(|i| i * i).collect();
+        let serial: Vec<u64> = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (0..512u64).into_par_iter().map(|i| i * i).collect());
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn join_from_inside_a_parallel_region() {
+        let total = AtomicU64::new(0);
+        (0..64u64).into_par_iter().for_each(|i| {
+            let (a, b) = crate::join(|| i * 2, || i * 3);
+            total.fetch_add(a + b, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5 * 63 * 64 / 2);
     }
 }

@@ -1,0 +1,600 @@
+//! The persistent work-stealing thread pool behind the rayon shim.
+//!
+//! The previous shim spawned and joined fresh OS threads (`std::thread::scope`)
+//! on every parallel call — acceptable for one-off launches, ruinous for the
+//! simulator's hot path where every kernel launch is a parallel region. This
+//! module keeps a single lazily-created pool alive for the whole process:
+//!
+//! * one worker thread per logical core (`RAYON_NUM_THREADS` overrides);
+//! * a per-worker deque of work slots; owners push and pop at the back
+//!   (LIFO, depth-first), thieves steal *batches* (the oldest half of the
+//!   victim's deque) from the front, which keeps steal traffic logarithmic
+//!   in the segment count;
+//! * callers participate: the thread that opens a parallel scope executes
+//!   slots itself while it waits, so nested scopes opened from inside a
+//!   worker never deadlock;
+//! * a [`join`] primitive for binary fork-join parallelism, usable from
+//!   anywhere — including from inside a running kernel closure;
+//! * graceful single-core degeneration: with one hardware thread (or
+//!   `RAYON_NUM_THREADS=1`) no threads are ever spawned and every scope runs
+//!   inline on the caller.
+//!
+//! Scoped borrows are handed to 'static worker threads through type-erased
+//! raw pointers; soundness rests on one invariant, enforced by the latch in
+//! every job: **a scope entry point does not return until every slot created
+//! for its job has been executed** (or the job poisoned by a panic), so the
+//! job — and everything it borrows — outlives all worker accesses.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Upper bound on worker threads, matching rayon's default cap behaviour for
+/// absurd `RAYON_NUM_THREADS` values.
+const MAX_THREADS: usize = 256;
+
+/// Segments created per worker when a scope is split; more segments give the
+/// thieves something to steal, fewer amortise bookkeeping. Four per worker is
+/// rayon's classic depth-first split factor.
+const SEGMENTS_PER_WORKER: usize = 4;
+
+thread_local! {
+    /// Index of the pool worker running on this thread (`None` on host
+    /// threads), used to push nested work onto the local deque.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+    /// When > 0, parallel scopes opened from this thread run inline
+    /// (installed by [`crate::ThreadPool::install`] with one thread).
+    static FORCE_SERIAL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Executes scoped work: `execute` runs one index range of the job.
+trait Job: Sync {
+    fn execute(&self, range: Range<usize>);
+}
+
+/// A unit of queued work: a type-erased job pointer plus the index range to
+/// run. The pointee is kept alive by the scope-doesn't-return-early invariant
+/// described in the module docs.
+struct Slot {
+    job: *const (dyn Job + 'static),
+    range: Range<usize>,
+}
+
+// SAFETY: the job pointer is only dereferenced while the owning scope blocks
+// on its latch, so the pointee is alive and `dyn Job: Sync` makes shared
+// access from another thread sound.
+unsafe impl Send for Slot {}
+
+impl Slot {
+    fn run(self) {
+        // SAFETY: see the `Send` impl above.
+        unsafe { (*self.job).execute(self.range) };
+    }
+}
+
+/// Completion latch: counts outstanding segments, wakes the scope owner when
+/// the last one finishes, and records panics so they can be rethrown on the
+/// owner's thread.
+struct Latch {
+    pending: AtomicUsize,
+    poisoned: AtomicBool,
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new(pending: usize) -> Self {
+        Latch {
+            pending: AtomicUsize::new(pending),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(pending == 0),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Marks one segment finished; the final call opens the latch.
+    fn complete_one(&self, panicked: bool) {
+        if panicked {
+            self.poisoned.store(true, Ordering::Release);
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            *done = true;
+            self.cond.notify_all();
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until the latch opens or `timeout` elapses.
+    fn wait_timeout(&self, timeout: Duration) {
+        let done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        if !*done {
+            let _ = self
+                .cond
+                .wait_timeout_while(done, timeout, |d| !*d)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// An indexed parallel job: run `body` over every index of each segment.
+struct IndexedJob<'a> {
+    body: &'a (dyn Fn(usize) + Sync),
+    latch: Latch,
+}
+
+impl Job for IndexedJob<'_> {
+    fn execute(&self, range: Range<usize>) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for i in range {
+                (self.body)(i);
+            }
+        }));
+        self.latch.complete_one(result.is_err());
+    }
+}
+
+/// A one-shot job used by [`join`]: runs a closure once, storing its result.
+struct OnceJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<R>>,
+    latch: Latch,
+}
+
+impl<F: FnOnce() -> R + Send, R: Send> OnceJob<F, R> {
+    fn new(func: F) -> Self {
+        OnceJob {
+            func: Mutex::new(Some(func)),
+            result: Mutex::new(None),
+            latch: Latch::new(1),
+        }
+    }
+
+    fn run_now(&self) {
+        self.execute(0..0);
+    }
+
+    fn take_result(&self) -> Option<R> {
+        self.result.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+impl<F: FnOnce() -> R + Send, R: Send> Job for OnceJob<F, R> {
+    fn execute(&self, _range: Range<usize>) {
+        let func = self.func.lock().unwrap_or_else(|e| e.into_inner()).take();
+        let Some(func) = func else { return };
+        let outcome = catch_unwind(AssertUnwindSafe(func));
+        match outcome {
+            Ok(value) => {
+                *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                self.latch.complete_one(false);
+            }
+            Err(_) => self.latch.complete_one(true),
+        }
+    }
+}
+
+/// Shared state of one worker: its deque of pending slots.
+struct WorkerState {
+    deque: Mutex<VecDeque<Slot>>,
+}
+
+/// The process-wide pool.
+pub(crate) struct Pool {
+    workers: Vec<WorkerState>,
+    /// Injection epoch: bumped (under `sleep`) whenever new slots arrive, so
+    /// parked workers can detect work they have not scanned for yet.
+    sleep: Mutex<u64>,
+    wakeup: Condvar,
+    /// Round-robin cursor for external injection.
+    next_worker: AtomicUsize,
+}
+
+fn configured_threads() -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(0) | None => hardware,
+        Some(n) => n.min(MAX_THREADS),
+    }
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// The lazily-created global pool.
+pub(crate) fn global() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let pool = Pool {
+            workers: (0..threads)
+                .map(|_| WorkerState {
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            sleep: Mutex::new(0),
+            wakeup: Condvar::new(),
+            next_worker: AtomicUsize::new(0),
+        };
+        if threads > 1 {
+            for index in 0..threads {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_main(index))
+                    .expect("failed to spawn pool worker");
+            }
+        }
+        pool
+    })
+}
+
+/// Number of threads parallel scopes fan out over (1 means inline execution).
+pub fn current_num_threads() -> usize {
+    if FORCE_SERIAL.with(|f| f.get()) > 0 {
+        1
+    } else {
+        global().workers.len()
+    }
+}
+
+/// Runs `f` with every parallel scope opened from this thread (and from
+/// nested inline scopes) executing serially. Used by the determinism tests to
+/// compare single-threaded and pooled execution in one process.
+pub(crate) fn run_serial<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SERIAL.with(|flag| flag.set(flag.get() + 1));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    FORCE_SERIAL.with(|flag| flag.set(flag.get() - 1));
+    match result {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn worker_main(index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    let pool = global();
+    let mut last_epoch = 0u64;
+    loop {
+        if pool.run_one(index) {
+            continue;
+        }
+        // No runnable work anywhere: park until the next injection. The
+        // untimed wait cannot miss work — every injection bumps the epoch
+        // under this same lock before notifying, and the epoch is re-checked
+        // here before parking, so idle workers consume zero CPU.
+        let guard = pool.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        if *guard != last_epoch {
+            last_epoch = *guard;
+            continue; // work arrived while we were scanning
+        }
+        let guard = pool
+            .wakeup
+            .wait_while(guard, |epoch| *epoch == last_epoch)
+            .unwrap_or_else(|e| e.into_inner());
+        last_epoch = *guard;
+    }
+}
+
+impl Pool {
+    fn lock_deque(&self, index: usize) -> std::sync::MutexGuard<'_, VecDeque<Slot>> {
+        self.workers[index]
+            .deque
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pushes slots onto a worker's deque (the local one when called from a
+    /// worker, round-robin otherwise) and wakes the pool.
+    fn inject(&self, slots: Vec<Slot>) {
+        let local = WORKER_INDEX.with(|w| w.get());
+        match local {
+            Some(index) => self.lock_deque(index).extend(slots),
+            None => {
+                // Spread segments across workers so several can start
+                // immediately without a steal.
+                let n = self.workers.len();
+                let start = self.next_worker.fetch_add(1, Ordering::Relaxed);
+                for (offset, slot) in slots.into_iter().enumerate() {
+                    self.lock_deque((start + offset) % n).push_back(slot);
+                }
+            }
+        }
+        let mut epoch = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        *epoch += 1;
+        self.wakeup.notify_all();
+    }
+
+    /// Executes one slot on behalf of worker `index`: first from its own
+    /// deque, otherwise by stealing a batch from a victim. Returns false when
+    /// no work was found anywhere.
+    ///
+    /// Local pop is LIFO (back of the deque, where nested scopes push): a
+    /// worker waiting on a nested scope runs its *own* freshly-pushed slots
+    /// before older, unrelated work round-robined onto its deque — rayon's
+    /// depth-first discipline, which keeps nested-launch latency proportional
+    /// to the nested work and bounds helper recursion.
+    fn run_one(&self, index: usize) -> bool {
+        // Bind before matching: the deque guard must drop before `run`, which
+        // may push nested work onto this very deque.
+        let popped = self.lock_deque(index).pop_back();
+        if let Some(slot) = popped {
+            slot.run();
+            return true;
+        }
+        self.steal_into(index)
+    }
+
+    /// Batch-steals the *front* (oldest) half of some victim's deque into
+    /// worker `index`'s deque and runs the first stolen slot. Returns false
+    /// if every deque is empty.
+    fn steal_into(&self, index: usize) -> bool {
+        let n = self.workers.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            let mut batch: VecDeque<Slot> = {
+                let mut deque = self.lock_deque(victim);
+                let take = deque.len().div_ceil(2);
+                deque.drain(..take).collect()
+            };
+            let Some(first) = batch.pop_front() else {
+                continue;
+            };
+            if !batch.is_empty() {
+                self.lock_deque(index).extend(batch);
+                // The transplanted batch is visible work other thieves may
+                // want; announce it.
+                let mut epoch = self.sleep.lock().unwrap_or_else(|e| e.into_inner());
+                *epoch += 1;
+                self.wakeup.notify_all();
+            }
+            first.run();
+            return true;
+        }
+        false
+    }
+
+    /// Steals and runs one slot from any deque on behalf of an external
+    /// (non-worker) thread. Returns false when nothing was runnable.
+    fn help_once(&self) -> bool {
+        if let Some(index) = WORKER_INDEX.with(|w| w.get()) {
+            return self.run_one(index);
+        }
+        for index in 0..self.workers.len() {
+            // Thief-side order: take the oldest slot.
+            let slot = self.lock_deque(index).pop_front();
+            if let Some(slot) = slot {
+                slot.run();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Participates in pool work until `latch` opens.
+    fn wait_with_help(&self, latch: &Latch) {
+        while !latch.is_open() {
+            if !self.help_once() {
+                latch.wait_timeout(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Erases the lifetime of a job reference for queueing.
+///
+/// # Safety
+/// The caller must not return from the enclosing scope until the job's latch
+/// opens (all slots executed).
+unsafe fn erase<'a>(job: &'a (dyn Job + 'a)) -> *const (dyn Job + 'static) {
+    std::mem::transmute::<*const (dyn Job + 'a), *const (dyn Job + 'static)>(job)
+}
+
+/// Runs `body(i)` for every `i in 0..len` across the pool, blocking until all
+/// indices have executed. Panics in `body` are propagated to the caller.
+pub(crate) fn scope_indexed(len: usize, body: &(dyn Fn(usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let serial = FORCE_SERIAL.with(|f| f.get()) > 0;
+    let pool = global();
+    if serial || pool.workers.len() <= 1 || len == 1 {
+        for i in 0..len {
+            body(i);
+        }
+        return;
+    }
+
+    let segments = (pool.workers.len() * SEGMENTS_PER_WORKER).min(len);
+    let job = IndexedJob {
+        body,
+        latch: Latch::new(segments),
+    };
+    // SAFETY: `wait_with_help` below blocks until the latch opens, i.e. until
+    // every slot has run; `job` outlives all worker accesses.
+    let erased = unsafe { erase(&job) };
+    let mut slots = Vec::with_capacity(segments);
+    let base = len / segments;
+    let extra = len % segments;
+    let mut start = 0;
+    for s in 0..segments {
+        let size = base + usize::from(s < extra);
+        slots.push(Slot {
+            job: erased,
+            range: start..start + size,
+        });
+        start += size;
+    }
+    pool.inject(slots);
+    pool.wait_with_help(&job.latch);
+    if job.latch.poisoned.load(Ordering::Acquire) {
+        panic!("a parallel task panicked");
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// `b` is published to the pool while the caller runs `a`; if no worker has
+/// claimed it by then the caller reclaims and runs it inline (the common,
+/// allocation-free fast path). Usable from host threads and from inside
+/// kernels running on the pool (nested fork-join).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let serial = FORCE_SERIAL.with(|f| f.get()) > 0;
+    let pool = global();
+    if serial || pool.workers.len() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+
+    let bjob = OnceJob::new(b);
+    // SAFETY: this function blocks (reclaim or latch wait) until the slot for
+    // `bjob` has been consumed, so the stack-allocated job stays alive.
+    let erased = unsafe { erase(&bjob) };
+    let target = WORKER_INDEX.with(|w| w.get());
+    let pushed_to = match target {
+        Some(index) => index,
+        None => pool.next_worker.fetch_add(1, Ordering::Relaxed) % pool.workers.len(),
+    };
+    pool.lock_deque(pushed_to).push_back(Slot {
+        job: erased,
+        range: 0..0,
+    });
+    {
+        let mut epoch = pool.sleep.lock().unwrap_or_else(|e| e.into_inner());
+        *epoch += 1;
+        pool.wakeup.notify_all();
+    }
+
+    // Run `a` under catch_unwind: the slot pointing at the stack-allocated
+    // `bjob` is already published, so unwinding out of this frame now would
+    // free the job under the pool's feet. Every path below retires the slot
+    // before `bjob` can drop.
+    let ra = catch_unwind(AssertUnwindSafe(a));
+
+    // Try to reclaim the slot; if it is still queued where we pushed it, no
+    // worker can start it once it is out of the deque.
+    let reclaimed = {
+        let mut deque = pool.lock_deque(pushed_to);
+        let position = deque
+            .iter()
+            .position(|slot| std::ptr::eq(slot.job as *const (), erased as *const ()));
+        position.map(|at| deque.remove(at)).is_some()
+    };
+    if reclaimed {
+        // The slot is ours alone now; if `a` panicked, skip `b` entirely.
+        if ra.is_ok() {
+            bjob.run_now();
+        }
+    } else {
+        // A thief holds (or already ran) the slot — help the pool until it
+        // finishes. Required even when `a` panicked: the thief still
+        // dereferences `bjob`.
+        pool.wait_with_help(&bjob.latch);
+    }
+    let ra = match ra {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    if bjob.latch.poisoned.load(Ordering::Acquire) {
+        panic!("a joined task panicked");
+    }
+    let rb = bjob
+        .take_result()
+        .expect("join closure completed no result");
+    (ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_indexed_covers_every_index() {
+        let n = 100_000;
+        let sum = AtomicU64::new(0);
+        scope_indexed(n, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (n as u64) * (n as u64 - 1) / 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn serial_override_forces_inline_execution() {
+        let outer = current_num_threads();
+        run_serial(|| {
+            assert_eq!(current_num_threads(), 1);
+            let sum = AtomicU64::new(0);
+            scope_indexed(1000, &|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn join_survives_a_panicking_first_closure() {
+        // The slot for `b` is already published when `a` unwinds; join must
+        // retire it before propagating, or a worker dereferences freed stack.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            join(|| -> u32 { panic!("left side") }, || 7u32)
+        }));
+        assert!(result.is_err());
+        // The pool (and fresh joins) still work afterwards.
+        assert_eq!(join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn panics_propagate_to_the_scope_owner() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope_indexed(64, &|i| {
+                if i == 33 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a poisoned scope.
+        let sum = AtomicU64::new(0);
+        scope_indexed(16, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 120);
+    }
+}

@@ -1,0 +1,134 @@
+//! Determinism and stress tests for the persistent work-stealing executor.
+//!
+//! The PR 2 refactor moved every kernel launch and the whole experiment
+//! pipeline onto one process-wide thread pool. These tests pin down the
+//! properties that refactor must preserve:
+//!
+//! * experiment output (console text and CSV bytes) is identical whether the
+//!   pool runs wide or strictly serially (`RAYON_NUM_THREADS=1` is the same
+//!   code path as the serial install used here);
+//! * `rayon::join` works from *inside* a running kernel closure (nested
+//!   fork-join on the pool);
+//! * concurrent kernel launches from many host threads share the pool
+//!   without interference.
+
+use gpu_sim::{launch_flat, LaunchConfig, UnsafeSlice};
+use mojo_hpc::report::{run_experiment, ExperimentId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Renders an experiment to one comparable byte string (console text plus
+/// every CSV payload).
+fn experiment_fingerprint(id: ExperimentId) -> String {
+    let report = run_experiment(id);
+    let mut out = report.render();
+    for (name, table) in &report.tables {
+        out.push_str(name);
+        out.push('\n');
+        out.push_str(&table.to_csv_string());
+    }
+    out
+}
+
+#[test]
+fn experiment_output_is_identical_serial_vs_pooled() {
+    // Representative mix: a pure cost-model figure, a functional-execution
+    // figure and the atomics-heavy Hartree-Fock table.
+    for id in [ExperimentId::Fig4, ExperimentId::Fig6, ExperimentId::Table4] {
+        let pooled = experiment_fingerprint(id);
+        let serial = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| experiment_fingerprint(id));
+        assert_eq!(
+            pooled, serial,
+            "{id}: output must not depend on the thread count"
+        );
+    }
+}
+
+#[test]
+fn experiment_output_is_stable_across_repeated_runs() {
+    let first = experiment_fingerprint(ExperimentId::Fig3);
+    let second = experiment_fingerprint(ExperimentId::Fig3);
+    assert_eq!(first, second, "repeated runs must be byte-identical");
+}
+
+#[test]
+fn nested_join_inside_a_launch() {
+    let cfg = LaunchConfig::new(8u32, 64u32);
+    let total = cfg.total_threads() as usize;
+    let mut out = vec![0u64; total];
+    {
+        let slice = UnsafeSlice::new(&mut out);
+        launch_flat(&cfg, |ctx| {
+            let i = ctx.global_x();
+            // Fork-join from inside a simulated GPU thread: both halves land
+            // on the same pool the launch itself runs on.
+            let (a, b) = rayon::join(|| i * 3, || i * 4);
+            slice.write(i as usize, a + b);
+        });
+    }
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i as u64 * 7);
+    }
+}
+
+#[test]
+fn deeply_nested_joins_converge() {
+    fn sum(range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        if span <= 64 {
+            return range.sum();
+        }
+        let mid = range.start + span / 2;
+        let (a, b) = rayon::join(|| sum(range.start..mid), || sum(mid..range.end));
+        a + b
+    }
+    assert_eq!(sum(0..100_000), 100_000 * 99_999 / 2);
+}
+
+#[test]
+fn concurrent_launches_from_multiple_host_threads() {
+    const HOSTS: usize = 4;
+    const N: usize = 1 << 14;
+    let counters: Vec<AtomicU64> = (0..HOSTS).map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|scope| {
+        for (host, counter) in counters.iter().enumerate() {
+            scope.spawn(move || {
+                let cfg = LaunchConfig::cover_1d(N as u64, 128);
+                launch_flat(&cfg, |ctx| {
+                    let i = ctx.global_x() as usize;
+                    if i < N {
+                        // Every simulated thread contributes host+1 exactly once.
+                        counter.fetch_add(host as u64 + 1, Ordering::Relaxed);
+                    }
+                });
+            });
+        }
+    });
+    for (host, counter) in counters.iter().enumerate() {
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            (N as u64) * (host as u64 + 1),
+            "host thread {host} lost or duplicated simulated threads"
+        );
+    }
+}
+
+#[test]
+fn concurrent_experiments_from_multiple_host_threads_match_serial() {
+    // Two host threads regenerate different experiments while the main
+    // thread regenerates a third; all must match their serial fingerprints.
+    let expected_fig5 = experiment_fingerprint(ExperimentId::Fig5);
+    let expected_t2 = experiment_fingerprint(ExperimentId::Table2);
+    let expected_t3 = experiment_fingerprint(ExperimentId::Table3);
+    std::thread::scope(|scope| {
+        let a = scope.spawn(|| experiment_fingerprint(ExperimentId::Fig5));
+        let b = scope.spawn(|| experiment_fingerprint(ExperimentId::Table2));
+        let c = experiment_fingerprint(ExperimentId::Table3);
+        assert_eq!(a.join().unwrap(), expected_fig5);
+        assert_eq!(b.join().unwrap(), expected_t2);
+        assert_eq!(c, expected_t3);
+    });
+}
