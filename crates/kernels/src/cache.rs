@@ -8,13 +8,19 @@
 //! the output*: callers with equal keys share one immutable `Arc`'d instance.
 //!
 //! Concurrency: each key owns a cell that records which thread is currently
-//! generating. *Other* threads hitting a cold key block until the value is
-//! published; the *generating thread itself* re-requesting the key (possible
-//! when a pool worker helps with stolen work while its generator runs a
-//! parallel region) falls back to a redundant generation with first-publish
-//! wins — never a blocking wait, so reentrancy cannot deadlock. Generators
-//! are deterministic, so a redundant copy is identical. Once warm, every
-//! request is a lock-free clone of the shared `Arc`.
+//! generating. Threads hitting a cold key block until the value is published
+//! — *unless* the requesting thread itself holds a generation claim (on this
+//! key or any other). A claim holder never waits: it falls back to a
+//! redundant generation with first-publish wins. That covers same-thread
+//! reentrancy, and — crucially — the cross-key cycle the pool's helping can
+//! produce: a worker mid-generation of key A steals a task that requests
+//! in-flight key B while B's generator has symmetrically stolen a task
+//! requesting A. If either waited, both would block forever with their
+//! generations suspended beneath the wait; because holders regenerate
+//! instead, every claim is always released in finite time. Generators are
+//! deterministic, so a redundant copy is identical. Once warm, a request
+//! costs one uncontended map-mutex fetch of the cell plus an `Arc` clone —
+//! no per-cell claim bookkeeping.
 
 use crate::hartree_fock::{HartreeFockConfig, HeliumSystem};
 use crate::minibude::{Deck, MiniBudeConfig};
@@ -23,6 +29,13 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::ThreadId;
+
+thread_local! {
+    /// Number of generation claims this thread currently holds, across all
+    /// memos. While it is non-zero the thread must never block on another
+    /// key's publication (see the module docs for the cycle this prevents).
+    static CLAIMS_HELD: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
 
 /// One memo cell: the published value plus the claim state used to
 /// deduplicate concurrent cold-key generation.
@@ -50,6 +63,7 @@ struct ClaimGuard<'a, V> {
 
 impl<V> Drop for ClaimGuard<'_, V> {
     fn drop(&mut self) {
+        CLAIMS_HELD.with(|held| held.set(held.get() - 1));
         let mut generating = self
             .cell
             .generating
@@ -75,14 +89,18 @@ impl<K: Eq + Hash, V> Memo<K, V> {
     /// Returns the cached value for `key`, generating it with `init` on the
     /// first request. The map lock is held only to fetch the key's cell;
     /// generation runs lock-free. See the module docs for the concurrency
-    /// contract (cross-thread waiters block, same-thread reentrancy
-    /// regenerates redundantly).
+    /// contract (claim-free waiters block, claim holders regenerate
+    /// redundantly).
     fn get_or_generate(&self, key: K, init: impl FnOnce() -> V) -> Arc<V> {
         let map = self.map.get_or_init(|| Mutex::new(HashMap::new()));
         let cell = {
             let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
             map.entry(key).or_default().clone()
         };
+        // Warm path: a published value needs no claim bookkeeping at all.
+        if let Some(value) = cell.value.get() {
+            return value.clone();
+        }
         let me = std::thread::current().id();
         let mut generating = cell.generating.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -90,20 +108,31 @@ impl<K: Eq + Hash, V> Memo<K, V> {
                 return value.clone();
             }
             match *generating {
-                // Reentrant request from the generating thread itself:
-                // blocking would deadlock, so generate a redundant copy and
-                // let the first publisher win.
-                Some(owner) if owner == me => {
+                // The key is being generated while this thread holds a claim
+                // of its own — on this very key (reentrancy) or on another
+                // (cross-key helping); both leave CLAIMS_HELD non-zero.
+                // Waiting could deadlock — our own suspended generation may
+                // be what the owner is transitively waiting for — so
+                // generate a redundant copy and let the first publisher win.
+                Some(_) if CLAIMS_HELD.with(|held| held.get()) > 0 => {
                     drop(generating);
                     let value = Arc::new(init());
-                    let _ = cell.value.set(value);
+                    if cell.value.set(value).is_ok() {
+                        // We published before the claim owner; wake waiters
+                        // now rather than when the owner's claim drops. The
+                        // lock orders this notify after any waiter's check of
+                        // `value`, so none can park past it.
+                        let _relock = cell.generating.lock().unwrap_or_else(|e| e.into_inner());
+                        cell.published.notify_all();
+                    }
                     return cell.value.get().expect("memo cell published").clone();
                 }
-                // Another thread is generating: wait for its publish (or for
-                // its unwind, in which case the claim is re-contended). A
-                // waiting pool worker idles here for the one cold-start
-                // window per key — accepted in exchange for keeping this
-                // crate off the pool's internals.
+                // Another thread is generating and we hold no claims, so
+                // waiting cannot form a cycle: wait for the publish (or for
+                // the owner's unwind, in which case the claim is
+                // re-contended). A waiting pool worker idles here for the one
+                // cold-start window per key — accepted in exchange for
+                // keeping this crate off the pool's internals.
                 Some(_) => {
                     generating = cell
                         .published
@@ -114,6 +143,7 @@ impl<K: Eq + Hash, V> Memo<K, V> {
                 None => {
                     *generating = Some(me);
                     drop(generating);
+                    CLAIMS_HELD.with(|held| held.set(held.get() + 1));
                     let guard = ClaimGuard { cell: &cell };
                     let value = Arc::new(init());
                     let _ = cell.value.set(value);
@@ -212,6 +242,33 @@ mod tests {
             1,
             "distinct threads must share one generation"
         );
+    }
+
+    #[test]
+    fn cross_key_claim_cycle_cannot_deadlock() {
+        // The scenario the pool's helping can produce: two threads each hold
+        // a generation claim on one key while requesting the other's
+        // in-flight key. Claim holders must regenerate redundantly instead
+        // of waiting — if either waits, this test hangs forever.
+        static MEMO: Memo<u32, u32> = Memo::new();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let v = MEMO.get_or_generate(1, || {
+                    barrier.wait(); // both claims are now held
+                    *MEMO.get_or_generate(2, || 20) + 1
+                });
+                // Whoever published first, the cell is consistent afterwards.
+                assert!(Arc::ptr_eq(&v, &MEMO.get_or_generate(1, || unreachable!())));
+            });
+            scope.spawn(|| {
+                let v = MEMO.get_or_generate(2, || {
+                    barrier.wait();
+                    *MEMO.get_or_generate(1, || 10) + 1
+                });
+                assert!(Arc::ptr_eq(&v, &MEMO.get_or_generate(2, || unreachable!())));
+            });
+        });
     }
 
     #[test]

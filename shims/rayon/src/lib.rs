@@ -87,6 +87,10 @@ type ChunkCell<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
 /// one pool task through a take-once cell, and every task writes only its own
 /// chunk — no raw-pointer aliasing anywhere.
 fn parallel_collect<R: Send, F: Fn(usize) -> R + Sync>(len: usize, f: F) -> Vec<R> {
+    // Serial scopes run inline: skip the per-chunk cells entirely.
+    if current_num_threads() == 1 {
+        return (0..len).map(f).collect();
+    }
     let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
     let chunk_size = collect_chunk_size(len);
     {
@@ -285,6 +289,13 @@ impl<'a, T: Send> EnumeratedChunks<'a, T> {
     /// owned by exactly one pool task (moved out of a take-once cell), so the
     /// mutable borrows never alias.
     pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync + Send>(self, f: F) {
+        // Serial scopes run inline: skip the take-once cells entirely.
+        if current_num_threads() == 1 {
+            for pair in self.chunks.into_iter().enumerate() {
+                f(pair);
+            }
+            return;
+        }
         let cells: Vec<ChunkCell<'a, T>> = self
             .chunks
             .into_iter()

@@ -25,6 +25,7 @@
 //! for its job has been executed** (or the job poisoned by a panic), so the
 //! job — and everything it borrows — outlives all worker accesses.
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -77,11 +78,13 @@ impl Slot {
 }
 
 /// Completion latch: counts outstanding segments, wakes the scope owner when
-/// the last one finishes, and records panics so they can be rethrown on the
-/// owner's thread.
+/// the last one finishes, and records the first panic payload so it can be
+/// rethrown — message and all — on the owner's thread.
 struct Latch {
     pending: AtomicUsize,
     poisoned: AtomicBool,
+    /// First panic payload from any segment (later ones are dropped).
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
     done: Mutex<bool>,
     cond: Condvar,
 }
@@ -91,20 +94,40 @@ impl Latch {
         Latch {
             pending: AtomicUsize::new(pending),
             poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
             done: Mutex::new(pending == 0),
             cond: Condvar::new(),
         }
     }
 
-    /// Marks one segment finished; the final call opens the latch.
-    fn complete_one(&self, panicked: bool) {
-        if panicked {
+    /// Marks one segment finished (recording its panic payload, if any); the
+    /// final call opens the latch.
+    fn complete_one(&self, panic: Option<Box<dyn Any + Send>>) {
+        if let Some(payload) = panic {
             self.poisoned.store(true, Ordering::Release);
+            let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
         }
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
             *done = true;
             self.cond.notify_all();
+        }
+    }
+
+    /// Rethrows the recorded panic on the calling thread if any segment
+    /// panicked. Call only after the latch has opened.
+    fn rethrow_if_poisoned(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            let payload = self
+                .payload
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .unwrap_or_else(|| Box::new("a parallel task panicked"));
+            std::panic::resume_unwind(payload);
         }
     }
 
@@ -122,6 +145,15 @@ impl Latch {
                 .unwrap_or_else(|e| e.into_inner());
         }
     }
+
+    /// Blocks until the latch opens (no timeout; `complete_one` wakes us).
+    fn wait(&self) {
+        let done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = self
+            .cond
+            .wait_while(done, |d| !*d)
+            .unwrap_or_else(|e| e.into_inner());
+    }
 }
 
 /// An indexed parallel job: run `body` over every index of each segment.
@@ -137,7 +169,7 @@ impl Job for IndexedJob<'_> {
                 (self.body)(i);
             }
         }));
-        self.latch.complete_one(result.is_err());
+        self.latch.complete_one(result.err());
     }
 }
 
@@ -174,9 +206,9 @@ impl<F: FnOnce() -> R + Send, R: Send> Job for OnceJob<F, R> {
         match outcome {
             Ok(value) => {
                 *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
-                self.latch.complete_one(false);
+                self.latch.complete_one(None);
             }
-            Err(_) => self.latch.complete_one(true),
+            Err(payload) => self.latch.complete_one(Some(payload)),
         }
     }
 }
@@ -381,10 +413,24 @@ impl Pool {
     }
 
     /// Participates in pool work until `latch` opens.
+    ///
+    /// Pool workers keep a short timed poll between help attempts so they
+    /// stay responsive to fresh injections. External callers park on the
+    /// latch untimed once a few consecutive scans find nothing to help with:
+    /// at that point every slot of their job is queued on (or running under)
+    /// a worker, which completes it without their help, and `complete_one`'s
+    /// notify wakes them — no 1 ms wakeup churn during long tasks.
     fn wait_with_help(&self, latch: &Latch) {
+        let is_worker = WORKER_INDEX.with(|w| w.get()).is_some();
+        let mut idle_scans = 0u32;
         while !latch.is_open() {
-            if !self.help_once() {
+            if self.help_once() {
+                idle_scans = 0;
+            } else if is_worker || idle_scans < 3 {
+                idle_scans += 1;
                 latch.wait_timeout(Duration::from_millis(1));
+            } else {
+                latch.wait();
             }
         }
     }
@@ -436,9 +482,7 @@ pub(crate) fn scope_indexed(len: usize, body: &(dyn Fn(usize) + Sync)) {
     }
     pool.inject(slots);
     pool.wait_with_help(&job.latch);
-    if job.latch.poisoned.load(Ordering::Acquire) {
-        panic!("a parallel task panicked");
-    }
+    job.latch.rethrow_if_poisoned();
 }
 
 /// Runs `a` and `b`, potentially in parallel, returning both results.
@@ -511,9 +555,7 @@ where
         Ok(value) => value,
         Err(payload) => std::panic::resume_unwind(payload),
     };
-    if bjob.latch.poisoned.load(Ordering::Acquire) {
-        panic!("a joined task panicked");
-    }
+    bjob.latch.rethrow_if_poisoned();
     let rb = bjob
         .take_result()
         .expect("join closure completed no result");
@@ -581,6 +623,15 @@ mod tests {
     }
 
     #[test]
+    fn join_preserves_the_right_closure_panic_payload() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            join(|| 1u32, || -> u32 { panic!("right side") })
+        }));
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"right side"));
+    }
+
+    #[test]
     fn panics_propagate_to_the_scope_owner() {
         let result = catch_unwind(AssertUnwindSafe(|| {
             scope_indexed(64, &|i| {
@@ -589,7 +640,9 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err());
+        // The original payload (message included) reaches the owner.
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
         // The pool survives a poisoned scope.
         let sum = AtomicU64::new(0);
         scope_indexed(16, &|i| {
