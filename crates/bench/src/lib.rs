@@ -41,6 +41,8 @@
 //! CI runs `cargo bench -- --smoke` (single-sample sweep) and uploads the
 //! resulting `target/bench/*.json` as the build's bench artifact.
 
+pub mod diff;
+
 use experiment_report::{run_experiment, ExperimentId};
 
 /// Regenerates one experiment, prints it, and writes its CSV files.

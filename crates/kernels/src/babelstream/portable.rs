@@ -12,6 +12,7 @@ use crate::common::{Verification, WorkloadRun};
 use crate::real::Real;
 use gpu_sim::{Dim3, SimError};
 use portable_kernel::prelude::*;
+use rayon::prelude::*;
 use vendor_models::kernel_class::StreamOp;
 use vendor_models::{heuristics, KernelClass, Platform};
 
@@ -179,7 +180,14 @@ fn execute<T: Real>(
                 n,
             };
             ctx.enqueue_cooperative(dot_launch, &kernel)?;
-            let total: f64 = sums.to_host().iter().map(|&v| v.to_f64()).sum();
+            // Host-side reduction of the per-block partials through the
+            // deterministic lane: the sum is bitwise-identical at every
+            // thread count.
+            let partials = sums.to_host();
+            let total: f64 = (0..partials.len())
+                .into_par_iter()
+                .map(|i| partials[i].to_f64())
+                .sum();
             (total - expected).abs() / expected.abs().max(1.0)
         }
     };
@@ -197,20 +205,21 @@ fn execute<T: Real>(
 }
 
 /// Checks that every element of `tensor` equals `expected`; returns the
-/// maximum relative error.
+/// maximum relative error. The scan runs on the pool through the
+/// deterministic reduction lane, so large validation arrays no longer
+/// serialise the host.
 fn verify_constant<T: Real>(
     tensor: &LayoutTensor<T>,
     expected: f64,
     n: usize,
 ) -> Result<f64, SimError> {
-    let mut max_rel = 0.0f64;
-    for i in 0..n {
-        let v = tensor.get(i).to_f64();
-        let rel = (v - expected).abs() / expected.abs().max(1.0);
-        if rel > max_rel {
-            max_rel = rel;
-        }
-    }
+    let max_rel = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let v = tensor.get(i).to_f64();
+            (v - expected).abs() / expected.abs().max(1.0)
+        })
+        .reduce(|| 0.0f64, f64::max);
     Ok(max_rel)
 }
 

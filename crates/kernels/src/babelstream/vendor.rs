@@ -14,6 +14,7 @@ use gpu_sim::memory::DeviceBuffer;
 use gpu_sim::{
     launch_flat, CoopKernel, CoopLaunch, Device, Dim3, PhaseOutcome, SimError, ThreadCtx,
 };
+use rayon::prelude::*;
 use vendor_models::kernel_class::StreamOp;
 use vendor_models::{heuristics, KernelClass, Platform};
 
@@ -175,7 +176,12 @@ fn execute<T: Real>(
                 n,
             };
             CoopLaunch::run(&dot_launch, &kernel);
-            let total: f64 = sums.copy_to_host().iter().map(|&v| v.to_f64()).sum();
+            // Deterministic host-side reduction of the per-block partials.
+            let partials = sums.copy_to_host();
+            let total: f64 = (0..partials.len())
+                .into_par_iter()
+                .map(|i| partials[i].to_f64())
+                .sum();
             (total - expected).abs() / expected.abs().max(1.0)
         }
     };
@@ -192,15 +198,15 @@ fn execute<T: Real>(
 }
 
 fn relative_error<T: Real>(buffer: &DeviceBuffer<T>, expected: f64) -> f64 {
-    let mut max_rel = 0.0f64;
-    for i in 0..buffer.len() {
-        let v = buffer.read(i).to_f64();
-        let rel = (v - expected).abs() / expected.abs().max(1.0);
-        if rel > max_rel {
-            max_rel = rel;
-        }
-    }
-    max_rel
+    // Pool-parallel max scan over the output array (order-independent, and
+    // the lane's fixed chunking keeps it deterministic regardless).
+    (0..buffer.len())
+        .into_par_iter()
+        .map(|i| {
+            let v = buffer.read(i).to_f64();
+            (v - expected).abs() / expected.abs().max(1.0)
+        })
+        .reduce(|| 0.0f64, f64::max)
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ mod cost;
 mod geometry;
 mod portable;
 mod reference;
+mod sampled;
 mod triangular;
 mod vendor;
 
@@ -26,6 +27,9 @@ pub use cost::{hartree_fock_cost, surviving_quartets};
 pub use geometry::HeliumSystem;
 pub use portable::run_portable;
 pub use reference::reference_fock;
+pub use sampled::{
+    run_sampled, shard_ranges, SampledValidation, ShardStats, DEFAULT_SAMPLES, DEFAULT_SHARDS,
+};
 pub use triangular::{pair_count, pair_decode, pair_encode, quartet_decode};
 pub use vendor::run_vendor;
 

@@ -3,6 +3,7 @@
 
 use super::geometry::HeliumSystem;
 use super::triangular::{pair_count, pair_decode};
+use rayon::prelude::*;
 
 /// Evaluates the (simplified) electron-repulsion integral of the quartet
 /// `(ij, kl)`: four nested loops over the Gaussian primitives, exactly the
@@ -65,23 +66,50 @@ pub fn scatter_fock(
     add(at(j, l), dens[at(i, k)] * -eri);
 }
 
-/// Sequentially builds the Fock matrix over every unscreened quartet.
+/// Quartets folded per task when the reference build runs on the pool. The
+/// width is fixed (independent of the thread count), so each Fock entry
+/// accumulates its contributions in the same order at every
+/// `RAYON_NUM_THREADS` and the `f64` result is bitwise-stable.
+const REFERENCE_CHUNK: u64 = 8192;
+
+/// Builds the Fock matrix over every unscreened quartet.
+///
+/// The quartet range is split into [`REFERENCE_CHUNK`]-wide chunks, each
+/// chunk scatters into its own partial Fock matrix on the pool, and the
+/// partials are summed element-wise through the deterministic reduction
+/// lane — parallel, without atomics, and bitwise-identical to a serial run.
 pub fn reference_fock(system: &HeliumSystem, screening_tol: f64) -> Vec<f64> {
     let natoms = system.natoms;
     let npairs = pair_count(natoms as u64);
     let nquartets = pair_count(npairs);
-    let mut fock = vec![0.0f64; natoms * natoms];
-    for q in 0..nquartets {
-        let (ij, kl) = pair_decode(q);
-        if system.schwarz[ij as usize] * system.schwarz[kl as usize] <= screening_tol {
-            continue;
-        }
-        let eri = quartet_eri(system, ij, kl);
-        scatter_fock(natoms, &system.dens, eri, ij, kl, |index, value| {
-            fock[index] += value;
-        });
-    }
-    fock
+    let nchunks = nquartets.div_ceil(REFERENCE_CHUNK);
+    (0..nchunks)
+        .into_par_iter()
+        .map(|chunk| {
+            let start = chunk * REFERENCE_CHUNK;
+            let end = (start + REFERENCE_CHUNK).min(nquartets);
+            let mut partial = vec![0.0f64; natoms * natoms];
+            for q in start..end {
+                let (ij, kl) = pair_decode(q);
+                if system.schwarz[ij as usize] * system.schwarz[kl as usize] <= screening_tol {
+                    continue;
+                }
+                let eri = quartet_eri(system, ij, kl);
+                scatter_fock(natoms, &system.dens, eri, ij, kl, |index, value| {
+                    partial[index] += value;
+                });
+            }
+            partial
+        })
+        .reduce(
+            || vec![0.0f64; natoms * natoms],
+            |mut acc, partial| {
+                for (a, p) in acc.iter_mut().zip(partial) {
+                    *a += p;
+                }
+                acc
+            },
+        )
 }
 
 #[cfg(test)]

@@ -1,0 +1,553 @@
+//! Command-line interface of the `mojo-hpc` binary.
+//!
+//! Subcommands:
+//!
+//! * `list` — print every experiment id and its paper caption;
+//! * `run --all | <experiment>…` — regenerate experiments (renders to
+//!   stdout, CSV files under `--out DIR`);
+//! * `run hartree-fock --atoms N` — sharded/sampled functional validation of
+//!   the Hartree–Fock kernel at any system size;
+//! * `diff <dir-a> <dir-b>` — byte-compare two experiment CSV directories;
+//! * `bench-diff <a> <b>` — compare bench JSON records (dispatched by the
+//!   binary to the bench crate; only parsed here).
+//!
+//! Exit codes: `0` success, `1` difference found or validation failed, `2`
+//! usage error. All diagnostics go to stderr; stdout carries only the
+//! deterministic experiment renderings, so `run` output can be compared
+//! byte-for-byte across runs and thread counts.
+
+use crate::registry::{run_experiments, ExperimentId};
+use hpc_metrics::output::{self, CsvTable};
+use science_kernels::hartree_fock::{
+    run_sampled, HartreeFockConfig, SampledValidation, DEFAULT_SAMPLES, DEFAULT_SHARDS,
+};
+use std::path::{Path, PathBuf};
+use vendor_models::Platform;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `list`: print the registry.
+    List,
+    /// `run`: regenerate experiments.
+    Run(RunArgs),
+    /// `run hartree-fock`: sampled functional validation.
+    RunHartreeFock(HartreeFockArgs),
+    /// `diff`: compare two experiment CSV directories.
+    Diff {
+        /// Baseline directory.
+        dir_a: PathBuf,
+        /// Compared directory.
+        dir_b: PathBuf,
+    },
+    /// `bench-diff`: compare two bench JSON records (file or directory each).
+    BenchDiff {
+        /// Baseline record or directory.
+        baseline: PathBuf,
+        /// Compared record or directory.
+        current: PathBuf,
+    },
+    /// `help` / `--help`.
+    Help,
+}
+
+/// Arguments of `run` over registry experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Experiments to regenerate, in presentation order.
+    pub ids: Vec<ExperimentId>,
+    /// CSV output directory (`target/experiments` when absent).
+    pub out: Option<PathBuf>,
+    /// Worker-thread override applied before the pool starts.
+    pub threads: Option<usize>,
+}
+
+/// Arguments of `run hartree-fock`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HartreeFockArgs {
+    /// Helium atom count.
+    pub atoms: u32,
+    /// Gaussian primitives per atom (paper pairing by default: 6 at 1024
+    /// atoms, 3 otherwise).
+    pub ngauss: Option<u32>,
+    /// Total sampled probes across the quartet space.
+    pub samples: u64,
+    /// Shard count of the quartet space.
+    pub shards: u64,
+    /// CSV output directory (`target/experiments` when absent).
+    pub out: Option<PathBuf>,
+    /// Worker-thread override applied before the pool starts.
+    pub threads: Option<usize>,
+}
+
+/// The usage text printed on `help` and usage errors.
+pub fn usage() -> &'static str {
+    "mojo-hpc — regenerate the paper's experiments and validate the kernels
+
+USAGE:
+  mojo-hpc list
+  mojo-hpc run (--all | <experiment>...) [--out DIR] [--threads N]
+  mojo-hpc run hartree-fock --atoms N [--ngauss G] [--sample N] [--shards N]
+                            [--out DIR] [--threads N]
+  mojo-hpc diff <dir-a> <dir-b>
+  mojo-hpc bench-diff <baseline.json|dir> <current.json|dir>
+  mojo-hpc help
+
+Experiment renderings go to stdout (byte-identical at every --threads /
+RAYON_NUM_THREADS setting); CSV files land under --out (default
+target/experiments); diagnostics go to stderr.
+
+EXIT CODES:
+  0  success / directories identical
+  1  difference found, or a validation failed
+  2  usage error or unreadable input"
+}
+
+/// Parses a command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut args = args.iter().map(String::as_str);
+    let Some(subcommand) = args.next() else {
+        return Err("missing subcommand".to_string());
+    };
+    let rest: Vec<&str> = args.collect();
+    match subcommand {
+        "list" => {
+            expect_no_args("list", &rest)?;
+            Ok(Command::List)
+        }
+        "run" => parse_run(&rest),
+        "diff" => {
+            let [a, b] = two_paths("diff", &rest)?;
+            Ok(Command::Diff { dir_a: a, dir_b: b })
+        }
+        "bench-diff" => {
+            let [a, b] = two_paths("bench-diff", &rest)?;
+            Ok(Command::BenchDiff {
+                baseline: a,
+                current: b,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn expect_no_args(subcommand: &str, rest: &[&str]) -> Result<(), String> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("'{subcommand}' takes no arguments"))
+    }
+}
+
+fn two_paths(subcommand: &str, rest: &[&str]) -> Result<[PathBuf; 2], String> {
+    match rest {
+        [a, b] => Ok([PathBuf::from(a), PathBuf::from(b)]),
+        _ => Err(format!("'{subcommand}' takes exactly two paths")),
+    }
+}
+
+/// Parses the value of a `--flag VALUE` pair.
+fn flag_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    args: &mut I,
+) -> Result<&'a str, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid value '{value}'"))
+}
+
+/// Parses a `--threads` value, rejecting 0 like the other count flags.
+fn parse_threads(value: &str) -> Result<usize, String> {
+    let threads: usize = parse_number("--threads", value)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    Ok(threads)
+}
+
+fn parse_run(rest: &[&str]) -> Result<Command, String> {
+    if rest.first() == Some(&"hartree-fock") {
+        return parse_run_hartree_fock(&rest[1..]);
+    }
+    let mut ids = Vec::new();
+    let mut all = false;
+    let mut out = None;
+    let mut threads = None;
+    let mut args = rest.iter().copied();
+    while let Some(arg) = args.next() {
+        match arg {
+            "--all" => all = true,
+            "--out" => out = Some(PathBuf::from(flag_value("--out", &mut args)?)),
+            "--threads" => threads = Some(parse_threads(flag_value("--threads", &mut args)?)?),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            id => ids.push(id.parse::<ExperimentId>().map_err(|e| {
+                format!(
+                    "{e}\nknown ids: {}",
+                    ExperimentId::ALL
+                        .iter()
+                        .map(|i| i.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?),
+        }
+    }
+    if all {
+        if !ids.is_empty() {
+            return Err("pass either --all or explicit experiment ids, not both".to_string());
+        }
+        ids = ExperimentId::ALL.to_vec();
+    } else if ids.is_empty() {
+        return Err("'run' needs --all or at least one experiment id".to_string());
+    }
+    Ok(Command::Run(RunArgs { ids, out, threads }))
+}
+
+fn parse_run_hartree_fock(rest: &[&str]) -> Result<Command, String> {
+    let mut atoms = None;
+    let mut ngauss = None;
+    let mut samples = DEFAULT_SAMPLES;
+    let mut shards = DEFAULT_SHARDS;
+    let mut out = None;
+    let mut threads = None;
+    let mut args = rest.iter().copied();
+    while let Some(arg) = args.next() {
+        match arg {
+            "--atoms" => atoms = Some(parse_number("--atoms", flag_value("--atoms", &mut args)?)?),
+            "--ngauss" => {
+                ngauss = Some(parse_number(
+                    "--ngauss",
+                    flag_value("--ngauss", &mut args)?,
+                )?)
+            }
+            "--sample" => {
+                samples = parse_number("--sample", flag_value("--sample", &mut args)?)?;
+            }
+            "--shards" => shards = parse_number("--shards", flag_value("--shards", &mut args)?)?,
+            "--out" => out = Some(PathBuf::from(flag_value("--out", &mut args)?)),
+            "--threads" => threads = Some(parse_threads(flag_value("--threads", &mut args)?)?),
+            other => return Err(format!("unknown 'run hartree-fock' argument '{other}'")),
+        }
+    }
+    let atoms = atoms.ok_or_else(|| "'run hartree-fock' needs --atoms N".to_string())?;
+    if atoms == 0 {
+        return Err("--atoms must be at least 1".to_string());
+    }
+    if samples == 0 {
+        return Err("--sample must be at least 1".to_string());
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    Ok(Command::RunHartreeFock(HartreeFockArgs {
+        atoms,
+        ngauss,
+        samples,
+        shards,
+        out,
+        threads,
+    }))
+}
+
+/// Applies a `--threads` override. Must run before the first parallel call
+/// of the process — the worker pool reads `RAYON_NUM_THREADS` once, when it
+/// is first used.
+fn apply_threads(threads: Option<usize>) {
+    if let Some(n) = threads {
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    }
+}
+
+/// Executes a parsed command, returning the process exit code.
+///
+/// `BenchDiff` is not handled here — the bench crate sits above this one, so
+/// the binary dispatches it; passing it in is a programming error.
+pub fn execute(command: &Command) -> i32 {
+    match command {
+        Command::List => {
+            for id in ExperimentId::ALL {
+                println!("{:<8} {}", id.as_str(), id.title());
+            }
+            0
+        }
+        Command::Run(args) => execute_run(args),
+        Command::RunHartreeFock(args) => execute_hartree_fock(args),
+        Command::Diff { dir_a, dir_b } => execute_diff(dir_a, dir_b),
+        Command::BenchDiff { .. } => unreachable!("bench-diff is dispatched by the binary"),
+        Command::Help => {
+            println!("{}", usage());
+            0
+        }
+    }
+}
+
+fn execute_run(args: &RunArgs) -> i32 {
+    apply_threads(args.threads);
+    let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
+    let started = std::time::Instant::now();
+    let reports = run_experiments(&args.ids);
+    for report in &reports {
+        println!("{}", report.render());
+        match report.write_csv_files_to(&out_dir) {
+            Ok(paths) => {
+                for path in paths {
+                    eprintln!("  [csv] {}", path.display());
+                }
+            }
+            Err(err) => {
+                eprintln!("failed to write CSV for {}: {err}", report.id);
+                return 1;
+            }
+        }
+    }
+    eprintln!(
+        "regenerated {} experiment(s) in {:.3} s",
+        reports.len(),
+        started.elapsed().as_secs_f64()
+    );
+    0
+}
+
+/// Renders a sampled Hartree–Fock validation the way experiments render:
+/// deterministic text on stdout plus a per-shard CSV table.
+fn render_sampled(report: &SampledValidation) -> (String, CsvTable) {
+    let mut text = String::new();
+    text.push_str(&format!(
+        "=== hartree-fock — sampled functional validation (natoms = {}, ngauss = {}) ===\n",
+        report.natoms, report.ngauss
+    ));
+    text.push_str(&format!(
+        "quartets {}  shards {}  probed {}  executed {}\n",
+        report.nquartets,
+        report.shards.len(),
+        report.probed,
+        report.executed
+    ));
+    text.push_str(&format!(
+        "survivors: exact {}  estimated {}  (estimate error {:.2}%)\n",
+        report.exact_survivors,
+        report.estimated_survivors,
+        report.survivor_estimate_error() * 100.0
+    ));
+    text.push_str(&format!(
+        "max abs error: eri {:.3e}  fock {:.3e}\n",
+        report.eri_max_abs_error, report.fock_max_abs_error
+    ));
+    let mut table = CsvTable::new([
+        "shard",
+        "start",
+        "end",
+        "probed",
+        "surviving",
+        "estimated_survivors",
+        "max_abs_error",
+    ]);
+    for shard in &report.shards {
+        table.push_row([
+            shard.shard.to_string(),
+            shard.start.to_string(),
+            shard.end.to_string(),
+            shard.probed.to_string(),
+            shard.surviving.to_string(),
+            shard.estimated_survivors().to_string(),
+            format!("{:.3e}", shard.max_abs_error),
+        ]);
+    }
+    (text, table)
+}
+
+fn execute_hartree_fock(args: &HartreeFockArgs) -> i32 {
+    apply_threads(args.threads);
+    let ngauss = args
+        .ngauss
+        .unwrap_or(if args.atoms >= 1024 { 6 } else { 3 });
+    let config = HartreeFockConfig::paper(args.atoms, ngauss);
+    let platform = Platform::portable_h100();
+    match run_sampled(&platform, &config, args.samples, args.shards) {
+        Ok(report) => {
+            let (text, table) = render_sampled(&report);
+            print!("{text}");
+            let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
+            let path = out_dir.join(format!("hartree_fock_sampled_{}_shards.csv", report.natoms));
+            if let Err(err) = table.write_to(&path) {
+                eprintln!("failed to write {}: {err}", path.display());
+                return 1;
+            }
+            eprintln!("  [csv] {}", path.display());
+            0
+        }
+        Err(err) => {
+            eprintln!("hartree-fock sampled validation failed: {err}");
+            1
+        }
+    }
+}
+
+/// Byte-compares the `.csv` files of two directories, naming the first
+/// differing row of each mismatched file.
+fn execute_diff(dir_a: &Path, dir_b: &Path) -> i32 {
+    let list = |dir: &Path| -> Result<Vec<String>, String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok())
+            .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "csv"))
+            .filter_map(|entry| entry.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        Ok(names)
+    };
+    let (names_a, names_b) = match (list(dir_a), list(dir_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+
+    let mut differences = 0u32;
+    for name in &names_a {
+        if !names_b.contains(name) {
+            println!("{name}: only in {}", dir_a.display());
+            differences += 1;
+        }
+    }
+    for name in &names_b {
+        if !names_a.contains(name) {
+            println!("{name}: only in {}", dir_b.display());
+            differences += 1;
+        }
+    }
+    for name in names_a.iter().filter(|n| names_b.contains(n)) {
+        let read = |dir: &Path| std::fs::read_to_string(dir.join(name));
+        let (text_a, text_b) = match (read(dir_a), read(dir_b)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("cannot read {name}: {e}");
+                return 2;
+            }
+        };
+        if text_a == text_b {
+            continue;
+        }
+        differences += 1;
+        let mut lines_a = text_a.lines();
+        let mut lines_b = text_b.lines();
+        let mut row = 0u32;
+        loop {
+            let (line_a, line_b) = (lines_a.next(), lines_b.next());
+            if line_a.is_none() && line_b.is_none() {
+                // Same lines, so the difference is in trailing bytes.
+                println!("{name}: differs in trailing whitespace");
+                break;
+            }
+            if line_a != line_b {
+                println!("{name}: row {row} differs");
+                println!("  a: {}", line_a.unwrap_or("<missing>"));
+                println!("  b: {}", line_b.unwrap_or("<missing>"));
+                break;
+            }
+            row += 1;
+        }
+    }
+
+    if differences == 0 {
+        eprintln!(
+            "{} CSV file(s) identical",
+            names_a.iter().filter(|n| names_b.contains(n)).count()
+        );
+        0
+    } else {
+        eprintln!("{differences} difference(s) found");
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_line(line: &str) -> Result<Command, String> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args)
+    }
+
+    #[test]
+    fn parses_every_subcommand() {
+        assert_eq!(parse_line("list").unwrap(), Command::List);
+        assert!(matches!(parse_line("help").unwrap(), Command::Help));
+        match parse_line("run table4 fig6 --out /tmp/x --threads 2").unwrap() {
+            Command::Run(args) => {
+                assert_eq!(args.ids, vec![ExperimentId::Table4, ExperimentId::Fig6]);
+                assert_eq!(args.out, Some(PathBuf::from("/tmp/x")));
+                assert_eq!(args.threads, Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_line("run --all").unwrap() {
+            Command::Run(args) => assert_eq!(args.ids.len(), ExperimentId::ALL.len()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_line("run hartree-fock --atoms 1024 --sample 512 --shards 8").unwrap() {
+            Command::RunHartreeFock(args) => {
+                assert_eq!(args.atoms, 1024);
+                assert_eq!(args.samples, 512);
+                assert_eq!(args.shards, 8);
+                assert_eq!(args.ngauss, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_line("diff a b").unwrap(),
+            Command::Diff { .. }
+        ));
+        assert!(matches!(
+            parse_line("bench-diff a.json b.json").unwrap(),
+            Command::BenchDiff { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse(&[]).is_err());
+        assert!(parse_line("frobnicate").is_err());
+        assert!(parse_line("run").is_err());
+        assert!(parse_line("run table9").is_err());
+        assert!(parse_line("run --all table4").is_err());
+        assert!(parse_line("run --threads").is_err());
+        assert!(parse_line("run --all --threads 0").is_err());
+        assert!(parse_line("run hartree-fock --atoms 64 --threads 0").is_err());
+        assert!(parse_line("run hartree-fock").is_err());
+        assert!(parse_line("run hartree-fock --atoms zero").is_err());
+        assert!(parse_line("diff onlyone").is_err());
+        assert!(parse_line("list extra").is_err());
+    }
+
+    #[test]
+    fn unknown_experiment_error_names_the_known_ids() {
+        let err = parse_line("run table9").unwrap_err();
+        assert!(err.contains("table9"));
+        assert!(err.contains("table5"), "error should list known ids: {err}");
+    }
+
+    #[test]
+    fn diff_reports_identical_and_differing_directories() {
+        let base = std::env::temp_dir().join(format!("mojo-hpc-cli-test-{}", std::process::id()));
+        let dir_a = base.join("a");
+        let dir_b = base.join("b");
+        std::fs::create_dir_all(&dir_a).unwrap();
+        std::fs::create_dir_all(&dir_b).unwrap();
+        std::fs::write(dir_a.join("t.csv"), "h\n1\n").unwrap();
+        std::fs::write(dir_b.join("t.csv"), "h\n1\n").unwrap();
+        assert_eq!(execute_diff(&dir_a, &dir_b), 0);
+        std::fs::write(dir_b.join("t.csv"), "h\n2\n").unwrap();
+        assert_eq!(execute_diff(&dir_a, &dir_b), 1);
+        std::fs::write(dir_b.join("extra.csv"), "h\n").unwrap();
+        assert_eq!(execute_diff(&dir_a, &dir_b), 1);
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 pub mod prelude;
 pub mod registry;

@@ -65,6 +65,34 @@ impl ExperimentId {
             ExperimentId::Table5 => "table5",
         }
     }
+
+    /// The paper caption the experiment regenerates (mirrors the title its
+    /// [`ExperimentReport`] carries, without running it).
+    pub fn title(&self) -> &'static str {
+        match self {
+            ExperimentId::Table1 => "GPU hardware used in this study",
+            ExperimentId::Fig2 => "Roofline representation of the workloads on the NVIDIA H100",
+            ExperimentId::Fig3 => {
+                "Mojo vs CUDA/HIP seven-point stencil effective bandwidth (Eq. 1)"
+            }
+            ExperimentId::Table2 => "Seven-point stencil Mojo vs CUDA NCU profiling metrics",
+            ExperimentId::Fig4 => {
+                "Mojo vs CUDA/HIP BabelStream effective bandwidth (Eq. 2), n = 2^25 FP64"
+            }
+            ExperimentId::Table3 => {
+                "BabelStream Mojo vs CUDA NCU profiling metrics (n = 2^25 FP64)"
+            }
+            ExperimentId::Fig5 => {
+                "Mojo vs CUDA generated-code comparison for BabelStream Triad (instruction mix)"
+            }
+            ExperimentId::Fig6 => "miniBUDE GFLOP/s (Eq. 3) vs PPWI on the NVIDIA H100, bm1 deck",
+            ExperimentId::Fig7 => "miniBUDE GFLOP/s (Eq. 3) vs PPWI on the AMD MI300A, bm1 deck",
+            ExperimentId::Table4 => {
+                "Hartree-Fock kernel execution duration (ms), Mojo vs CUDA and HIP"
+            }
+            ExperimentId::Table5 => "Mojo performance-portability metric (Eq. 4)",
+        }
+    }
 }
 
 impl fmt::Display for ExperimentId {

@@ -41,9 +41,17 @@ impl ExperimentReport {
     /// Writes every attached CSV under `target/experiments/<id>_<name>.csv`
     /// and returns the written paths.
     pub fn write_csv_files(&self) -> std::io::Result<Vec<PathBuf>> {
+        self.write_csv_files_to(&output::experiments_dir())
+    }
+
+    /// Writes every attached CSV as `<dir>/<id>_<name>.csv` (creating `dir`
+    /// as needed) and returns the written paths.
+    pub fn write_csv_files_to(&self, dir: &std::path::Path) -> std::io::Result<Vec<PathBuf>> {
         let mut paths = Vec::new();
         for (name, table) in &self.tables {
-            paths.push(output::write_csv(&format!("{}_{}", self.id, name), table)?);
+            let path = dir.join(format!("{}_{}.csv", self.id, name));
+            table.write_to(&path)?;
+            paths.push(path);
         }
         Ok(paths)
     }

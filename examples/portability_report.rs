@@ -1,7 +1,11 @@
 //! Regenerates the paper's full evaluation: every table and figure, printed
 //! to the console and exported as CSV under `target/experiments/`.
 //!
-//! Run with `cargo run --release --example portability_report`.
+//! This example predates the `mojo-hpc` binary, which is now the primary
+//! entry point (`mojo-hpc run --all`, plus `list`/`diff`/`bench-diff` and a
+//! sampled Hartree–Fock validation mode — see README.md); it remains as a
+//! minimal library-level driver. Run with
+//! `cargo run --release --example portability_report`.
 //! Pass experiment ids (e.g. `table4 fig6`) to regenerate a subset.
 //!
 //! Independent experiments are dispatched concurrently over the persistent

@@ -124,6 +124,83 @@ fn collect_chunk_size(len: usize) -> usize {
     len.div_ceil(tasks.max(1)).max(1)
 }
 
+/// Fixed chunk width of the deterministic reduction lane.
+///
+/// The reduction lane splits its input into chunks of exactly this many
+/// elements **regardless of the thread count**: each chunk is folded
+/// left-to-right on one task, then the chunk partials are combined through a
+/// fixed pairwise tree on the calling thread. Because neither the chunking
+/// nor the combine order depends on scheduling, a floating-point reduction
+/// returns the *bitwise-identical* result at any `RAYON_NUM_THREADS` —
+/// including 1 — which is what lets the experiment pipeline promise
+/// byte-identical output across thread counts.
+pub const REDUCE_CHUNK: usize = 1024;
+
+/// Deterministic fixed-chunk tree reduction of `map(0) ⊕ map(1) ⊕ … ⊕
+/// map(len-1)` (seeded with `identity()` per chunk).
+///
+/// Grouping is a pure function of `len`: elements are folded left-to-right
+/// within [`REDUCE_CHUNK`]-sized chunks and the chunk partials are combined
+/// pairwise in index order, so the result is bitwise-stable across thread
+/// counts even for non-associative operators like `f64` addition.
+fn parallel_reduce<R, ID, M, OP>(len: usize, identity: &ID, map: &M, op: &OP) -> R
+where
+    R: Send,
+    ID: Fn() -> R + Sync,
+    M: Fn(usize) -> R + Sync,
+    OP: Fn(R, R) -> R + Sync,
+{
+    if len == 0 {
+        return identity();
+    }
+    let nchunks = len.div_ceil(REDUCE_CHUNK);
+    let mut partials: Vec<R> = parallel_collect(nchunks, |chunk| {
+        let start = chunk * REDUCE_CHUNK;
+        let end = (start + REDUCE_CHUNK).min(len);
+        let mut acc = identity();
+        for i in start..end {
+            acc = op(acc, map(i));
+        }
+        acc
+    });
+    // Fixed pairwise tree over the in-order chunk partials, on the caller.
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut pairs = partials.into_iter();
+        while let Some(a) = pairs.next() {
+            match pairs.next() {
+                Some(b) => next.push(op(a, b)),
+                None => next.push(a),
+            }
+        }
+        partials = next;
+    }
+    partials.pop().expect("non-empty reduction lost its result")
+}
+
+/// Types the deterministic [`sum`](Map::sum) lane can accumulate.
+pub trait ParallelSum: Send {
+    /// The additive identity.
+    fn zero() -> Self;
+    /// Adds two partials.
+    fn add(a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_parallel_sum {
+    ($($t:ty),*) => {$(
+        impl ParallelSum for $t {
+            fn zero() -> Self {
+                0 as $t
+            }
+            fn add(a: Self, b: Self) -> Self {
+                a + b
+            }
+        }
+    )*};
+}
+
+impl_parallel_sum!(f32, f64, u32, u64, usize, i32, i64);
+
 /// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
     /// The element type.
@@ -215,6 +292,33 @@ impl<T: RangeInt, F> Map<RangeIter<T>, F> {
         let base = &self.base;
         let f = &self.f;
         C::from_results(parallel_collect(len, move |i| f(base.get(i))))
+    }
+
+    /// Reduces the mapped results with `op`, seeding every chunk with
+    /// `identity()`, through the deterministic fixed-chunk tree lane: the
+    /// result is bitwise-identical at every thread count (see
+    /// [`REDUCE_CHUNK`]). An empty range returns `identity()`.
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let len = self.base.len();
+        let base = &self.base;
+        let f = &self.f;
+        parallel_reduce(len, &identity, &move |i| f(base.get(i)), &op)
+    }
+
+    /// Sums the mapped results through the deterministic reduction lane
+    /// ([`Self::reduce`] with the additive identity).
+    pub fn sum<S>(self) -> S
+    where
+        S: ParallelSum,
+        F: Fn(T) -> S + Sync + Send,
+    {
+        self.reduce(S::zero, S::add)
     }
 }
 
@@ -355,6 +459,50 @@ mod tests {
             .unwrap()
             .install(|| (0..512u64).into_par_iter().map(|i| i * i).collect());
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sum_matches_the_serial_fold_for_integers() {
+        let n = 100_003u64;
+        let total: u64 = (0..n).into_par_iter().map(|i| i).sum();
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn reduce_is_bitwise_stable_across_thread_counts() {
+        // A sum whose result depends on association order: pooled and serial
+        // execution must still agree bit-for-bit through the fixed-chunk tree.
+        let f = |i: u64| 1.0f64 / (i as f64 + 1.0);
+        let pooled: f64 = (0..50_000u64).into_par_iter().map(f).sum();
+        let serial: f64 = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| (0..50_000u64).into_par_iter().map(f).sum());
+        assert_eq!(pooled.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn reduce_handles_empty_and_single_element_ranges() {
+        let empty: f64 = (0..0u64).into_par_iter().map(|_| 1.0).sum();
+        assert_eq!(empty, 0.0);
+        let single = (0..1u32)
+            .into_par_iter()
+            .map(|_| 41.0f64)
+            .reduce(|| 1.0, |a, b| a + b);
+        assert_eq!(single, 42.0);
+    }
+
+    #[test]
+    fn reduce_computes_min_and_max() {
+        let max = (0..10_000i64)
+            .into_par_iter()
+            .map(|i| ((i * 7919) % 10_007) as f64)
+            .reduce(|| f64::NEG_INFINITY, f64::max);
+        let expected = (0..10_000i64)
+            .map(|i| ((i * 7919) % 10_007) as f64)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(max, expected);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Property tests for the deterministic reduction lane.
+//!
+//! The lane promises: for any input length and any thread count, `sum` /
+//! `reduce` return the value the *same* fixed-chunk tree produces under a
+//! strictly serial install — bitwise for `f64`. The pooled arm here runs on
+//! the process-global pool at whatever width `RAYON_NUM_THREADS` gives it
+//! (CI runs the suite both wide and at 1), the serial arm under
+//! `ThreadPoolBuilder::num_threads(1).install`, so one process compares two
+//! thread counts directly.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+/// Runs `f` with every parallel scope forced serial.
+fn serially<R>(f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// f64 sums: pooled and serial lanes agree bit-for-bit on arbitrary
+    /// lengths (including lengths straddling the chunk width).
+    fn f64_sum_is_bitwise_stable(v in proptest::collection::vec(-1.0e9f64..1.0e9, 0..4500)) {
+        let pooled: f64 = (0..v.len()).into_par_iter().map(|i| v[i]).sum();
+        let serial: f64 = serially(|| (0..v.len()).into_par_iter().map(|i| v[i]).sum());
+        prop_assert_eq!(pooled.to_bits(), serial.to_bits());
+    }
+
+    /// Integer sums through the lane equal the plain serial fold exactly.
+    fn integer_sum_equals_the_serial_fold(v in proptest::collection::vec(0u64..1_000_000, 0..4500)) {
+        let pooled: u64 = (0..v.len()).into_par_iter().map(|i| v[i]).sum();
+        prop_assert_eq!(pooled, v.iter().sum::<u64>());
+    }
+
+    /// Min and max reductions equal the plain serial fold exactly (they are
+    /// order-independent, so this holds bitwise at any thread count).
+    fn min_and_max_equal_the_serial_fold(v in proptest::collection::vec(-1.0e6f64..1.0e6, 0..4500)) {
+        let min = (0..v.len())
+            .into_par_iter()
+            .map(|i| v[i])
+            .reduce(|| f64::INFINITY, f64::min);
+        let max = (0..v.len())
+            .into_par_iter()
+            .map(|i| v[i])
+            .reduce(|| f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(min.to_bits(), v.iter().copied().fold(f64::INFINITY, f64::min).to_bits());
+        prop_assert_eq!(
+            max.to_bits(),
+            v.iter().copied().fold(f64::NEG_INFINITY, f64::max).to_bits()
+        );
+    }
+
+    /// Non-commutative reductions (string-order concatenation length model)
+    /// still see every element exactly once, in chunk order.
+    fn reduce_visits_every_element_once(len in 0usize..6000) {
+        let count: u64 = (0..len as u64).into_par_iter().map(|_| 1u64).sum();
+        prop_assert_eq!(count, len as u64);
+        let sum: u64 = (0..len as u64).into_par_iter().map(|i| i).sum();
+        prop_assert_eq!(sum, (len as u64) * (len as u64).saturating_sub(1) / 2);
+    }
+}
+
+#[test]
+fn empty_input_returns_the_identity() {
+    let sum: f64 = (0..0u64).into_par_iter().map(|i| i as f64).sum();
+    assert_eq!(sum.to_bits(), 0.0f64.to_bits());
+    let min = (0..0u64)
+        .into_par_iter()
+        .map(|i| i as f64)
+        .reduce(|| f64::INFINITY, f64::min);
+    assert_eq!(min, f64::INFINITY);
+}
+
+#[test]
+fn single_element_input_folds_once_with_the_identity() {
+    let value = 0.1f64;
+    let sum: f64 = (0..1u64).into_par_iter().map(|_| value).sum();
+    assert_eq!(sum.to_bits(), (0.0f64 + value).to_bits());
+    let serial: f64 = serially(|| (0..1u64).into_par_iter().map(|_| value).sum());
+    assert_eq!(sum.to_bits(), serial.to_bits());
+}
+
+#[test]
+fn chunk_boundary_lengths_are_bitwise_stable() {
+    // Exercise lengths around multiples of the lane's chunk width, where the
+    // grouping changes shape.
+    for len in [
+        1023usize, 1024, 1025, 2047, 2048, 2049, 4095, 4096, 4097, 10_000,
+    ] {
+        let f = |i: usize| 1.0f64 / (i as f64 + 0.5);
+        let pooled: f64 = (0..len).into_par_iter().map(f).sum();
+        let serial: f64 = serially(|| (0..len).into_par_iter().map(f).sum());
+        assert_eq!(pooled.to_bits(), serial.to_bits(), "len {len}");
+    }
+}

@@ -1,0 +1,40 @@
+//! The `mojo-hpc` binary: scenario-addressable entry point to the
+//! reproduction. `mojo-hpc help` prints the subcommand reference; parsing
+//! and execution live in [`experiment_report::cli`], except `bench-diff`,
+//! which is dispatched here because the bench crate sits above the report
+//! crate in the dependency graph.
+
+use experiment_report::cli::{self, Command};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match cli::parse(&args) {
+        Ok(Command::BenchDiff { baseline, current }) => bench_diff(&baseline, &current),
+        Ok(command) => cli::execute(&command),
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("\n{}", cli::usage());
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Compares two bench JSON records (each a file or a directory of records),
+/// tolerating groups present on only one side.
+fn bench_diff(baseline: &Path, current: &Path) -> i32 {
+    let load = |path: &Path| match bench::diff::load_records(path) {
+        Ok(records) => Some(records),
+        Err(message) => {
+            eprintln!("error: {message}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (load(baseline), load(current)) else {
+        return 2;
+    };
+    let comparison = bench::diff::diff(&baseline, &current);
+    print!("{}", bench::diff::render(&comparison));
+    0
+}

@@ -1,0 +1,193 @@
+//! Integration tests of the `mojo-hpc` command-line interface: subcommand
+//! coverage, exit codes and error messages, through the real binary.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn mojo_hpc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mojo-hpc"))
+        .args(args)
+        .output()
+        .expect("run mojo-hpc")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("cli-scratch")
+        .join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn list_names_every_registry_entry() {
+    let output = mojo_hpc(&["list"]);
+    assert_eq!(output.status.code(), Some(0));
+    let text = stdout(&output);
+    for id in [
+        "table1", "fig2", "fig3", "table2", "fig4", "table3", "fig5", "fig6", "fig7", "table4",
+        "table5",
+    ] {
+        assert!(
+            text.lines().any(|line| line.starts_with(id)),
+            "list output missing {id}:\n{text}"
+        );
+    }
+    assert_eq!(text.lines().count(), 11);
+}
+
+#[test]
+fn run_unknown_experiment_fails_helpfully() {
+    let output = mojo_hpc(&["run", "table9"]);
+    assert_eq!(output.status.code(), Some(2));
+    let err = stderr(&output);
+    assert!(
+        err.contains("table9"),
+        "stderr should name the bad id: {err}"
+    );
+    assert!(
+        err.contains("known ids") && err.contains("table5"),
+        "stderr should list the known ids: {err}"
+    );
+}
+
+#[test]
+fn run_without_arguments_is_a_usage_error() {
+    let output = mojo_hpc(&["run"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("--all"));
+}
+
+#[test]
+fn run_single_experiment_renders_and_writes_csv() {
+    let out = scratch("run-single");
+    let output = mojo_hpc(&["run", "table1", "--out", out.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(0));
+    assert!(stdout(&output).contains("=== table1"));
+    assert!(out.join("table1_hardware.csv").exists());
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn diff_identical_dirs_exits_zero_and_mutation_names_the_row() {
+    let dir_a = scratch("diff-a");
+    let dir_b = scratch("diff-b");
+    let csv = "kernel,backend\ncopy,Mojo\ndot,CUDA\n";
+    std::fs::write(dir_a.join("t.csv"), csv).unwrap();
+    std::fs::write(dir_b.join("t.csv"), csv).unwrap();
+
+    let same = mojo_hpc(&["diff", dir_a.to_str().unwrap(), dir_b.to_str().unwrap()]);
+    assert_eq!(same.status.code(), Some(0));
+
+    // Mutate row 2 (0-based: the "dot" data row) and expect it named.
+    std::fs::write(dir_b.join("t.csv"), "kernel,backend\ncopy,Mojo\ndot,HIP\n").unwrap();
+    let changed = mojo_hpc(&["diff", dir_a.to_str().unwrap(), dir_b.to_str().unwrap()]);
+    assert_eq!(changed.status.code(), Some(1));
+    let text = stdout(&changed);
+    assert!(text.contains("t.csv: row 2 differs"), "diff output: {text}");
+    assert!(text.contains("dot,CUDA") && text.contains("dot,HIP"));
+
+    // A file present on only one side is also a difference.
+    std::fs::write(dir_b.join("t.csv"), csv).unwrap();
+    std::fs::write(dir_b.join("extra.csv"), "h\n").unwrap();
+    let extra = mojo_hpc(&["diff", dir_a.to_str().unwrap(), dir_b.to_str().unwrap()]);
+    assert_eq!(extra.status.code(), Some(1));
+    assert!(stdout(&extra).contains("extra.csv: only in"));
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn diff_on_a_missing_directory_is_a_usage_error() {
+    let output = mojo_hpc(&["diff", "/nonexistent/a", "/nonexistent/b"]);
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn bench_diff_tolerates_a_missing_group() {
+    let dir = scratch("bench-diff");
+    let record = |group: &str, mean: f64| {
+        format!(
+            r#"{{"group": "{group}", "benchmarks": [{{"id": "x", "samples": 1, "mean_ns": {mean}, "min_ns": 1, "max_ns": 2, "throughput": null}}]}}"#
+        )
+    };
+    std::fs::write(dir.join("a.json"), record("shared", 100.0)).unwrap();
+    std::fs::write(dir.join("b.json"), record("shared", 150.0)).unwrap();
+    let a_dir = dir.join("a-set");
+    let b_dir = dir.join("b-set");
+    std::fs::create_dir_all(&a_dir).unwrap();
+    std::fs::create_dir_all(&b_dir).unwrap();
+    std::fs::write(a_dir.join("shared.json"), record("shared", 100.0)).unwrap();
+    std::fs::write(a_dir.join("gone.json"), record("gone", 50.0)).unwrap();
+    std::fs::write(b_dir.join("shared.json"), record("shared", 150.0)).unwrap();
+    std::fs::write(b_dir.join("fresh.json"), record("fresh", 25.0)).unwrap();
+
+    let files = mojo_hpc(&[
+        "bench-diff",
+        dir.join("a.json").to_str().unwrap(),
+        dir.join("b.json").to_str().unwrap(),
+    ]);
+    assert_eq!(files.status.code(), Some(0));
+    assert!(stdout(&files).contains("+50.0%"), "{}", stdout(&files));
+
+    let dirs = mojo_hpc(&[
+        "bench-diff",
+        a_dir.to_str().unwrap(),
+        b_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(dirs.status.code(), Some(0));
+    let text = stdout(&dirs);
+    assert!(text.contains("gone: removed"), "{text}");
+    assert!(text.contains("fresh: added"), "{text}");
+
+    let bad = mojo_hpc(&["bench-diff", "/nonexistent.json", "/nonexistent.json"]);
+    assert_eq!(bad.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sampled_hartree_fock_runs_beyond_the_full_validation_limit() {
+    let out = scratch("hf-sampled");
+    let output = mojo_hpc(&[
+        "run",
+        "hartree-fock",
+        "--atoms",
+        "128",
+        "--sample",
+        "128",
+        "--shards",
+        "4",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr(&output));
+    let text = stdout(&output);
+    assert!(text.contains("natoms = 128"));
+    assert!(text.contains("survivors: exact"));
+    assert!(out.join("hartree_fock_sampled_128_shards.csv").exists());
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn help_prints_usage_and_unknown_subcommands_fail() {
+    let help = mojo_hpc(&["help"]);
+    assert_eq!(help.status.code(), Some(0));
+    assert!(stdout(&help).contains("USAGE"));
+    let unknown = mojo_hpc(&["frobnicate"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(stderr(&unknown).contains("USAGE"));
+    let none = mojo_hpc(&[]);
+    assert_eq!(none.status.code(), Some(2));
+}

@@ -1,0 +1,124 @@
+//! Golden-file regression suite.
+//!
+//! `tests/golden/` commits the CSV output of `mojo-hpc run --all`. These
+//! tests regenerate the full report through the real binary and assert the
+//! output is **byte-identical** to the committed files — at the default
+//! thread count and with `RAYON_NUM_THREADS=1` — so any change to the
+//! timing model, the kernels, the executor or the CSV rendering that moves
+//! a single byte of the paper's tables fails loudly. Regenerate the goldens
+//! with `mojo-hpc run --all --out tests/golden` when a change is intended.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Fresh scratch directory under the target tree.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("golden-scratch")
+        .join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs `mojo-hpc run --all --out <dir>` and returns its stdout.
+fn run_all(out: &Path, threads: Option<&str>) -> String {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_mojo-hpc"));
+    command.args(["run", "--all", "--out"]).arg(out);
+    match threads {
+        Some(n) => command.env("RAYON_NUM_THREADS", n),
+        None => command.env_remove("RAYON_NUM_THREADS"),
+    };
+    let output = command.output().expect("run mojo-hpc");
+    assert!(
+        output.status.success(),
+        "mojo-hpc run --all failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("stdout is UTF-8")
+}
+
+fn csv_names(dir: &Path) -> BTreeSet<String> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "csv"))
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .collect()
+}
+
+/// Asserts every golden CSV exists in `generated` with identical bytes, and
+/// that no unexpected CSVs appeared.
+fn assert_matches_golden(generated: &Path) {
+    let golden = golden_dir();
+    let golden_names = csv_names(&golden);
+    assert!(
+        !golden_names.is_empty(),
+        "no golden files committed under {}",
+        golden.display()
+    );
+    assert_eq!(
+        csv_names(generated),
+        golden_names,
+        "generated CSV set differs from the committed goldens"
+    );
+    for name in &golden_names {
+        let expected = std::fs::read(golden.join(name)).expect("read golden");
+        let actual = std::fs::read(generated.join(name)).expect("read generated");
+        assert!(
+            actual == expected,
+            "{name} differs from the committed golden (regenerate with \
+             `mojo-hpc run --all --out tests/golden` if the change is intended)"
+        );
+    }
+}
+
+#[test]
+fn run_all_matches_the_committed_goldens_at_default_threads() {
+    let out = scratch_dir("default");
+    let stdout = run_all(&out, None);
+    // Every experiment renders under its registry caption — this pins
+    // `ExperimentId::title()` to the titles the builders actually set.
+    for id in mojo_hpc::report::ExperimentId::ALL {
+        let banner = format!("=== {} — {} ===", id.as_str(), id.title());
+        assert!(stdout.contains(&banner), "stdout missing banner: {banner}");
+    }
+    assert_matches_golden(&out);
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn run_all_is_byte_identical_at_one_thread() {
+    let out = scratch_dir("serial");
+    let serial_stdout = run_all(&out, Some("1"));
+    assert_matches_golden(&out);
+    // The console rendering is part of the determinism contract too.
+    let out2 = scratch_dir("wide");
+    let wide_stdout = run_all(&out2, None);
+    assert_eq!(
+        serial_stdout, wide_stdout,
+        "stdout differs between 1 thread and the default pool"
+    );
+    std::fs::remove_dir_all(&out).ok();
+    std::fs::remove_dir_all(&out2).ok();
+}
+
+#[test]
+fn the_binary_diff_subcommand_agrees_the_goldens_match() {
+    let out = scratch_dir("diff");
+    run_all(&out, None);
+    let status = Command::new(env!("CARGO_BIN_EXE_mojo-hpc"))
+        .arg("diff")
+        .arg(golden_dir())
+        .arg(&out)
+        .status()
+        .expect("run mojo-hpc diff");
+    assert_eq!(status.code(), Some(0));
+    std::fs::remove_dir_all(&out).ok();
+}
