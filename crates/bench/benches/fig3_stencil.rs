@@ -3,19 +3,26 @@
 
 use criterion::{Criterion, Throughput};
 use experiment_report::ExperimentId;
-use gpu_spec::Precision;
-use science_kernels::stencil7::{self, StencilConfig};
+use science_kernels::stencil7;
+use science_kernels::workload::{self, ParamValue};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_stencil");
-    // Functional execution of the portable stencil on a reduced grid: the
-    // simulated-kernel work `cargo bench` actually measures on the host.
-    for l in [64usize, 96, 128] {
-        group.throughput(Throughput::Elements((l as u64).pow(3)));
+    // Functional execution of the portable stencil on the workload's bench
+    // preset sizes: the simulated-kernel work `cargo bench` measures on the
+    // host, driven through the same Params the sweep engine uses.
+    let engine = workload::find("stencil").expect("registered workload");
+    for &l in engine.bench_sizes() {
+        let mut params = engine.default_params();
+        params
+            .set(engine.size_param(), ParamValue::Int(l))
+            .expect("size param");
+        engine.validate(&params).expect("bench preset validates");
+        let config = stencil7::workload::config(&params).expect("bench preset decodes");
+        group.throughput(Throughput::Elements(config.cells()));
         group.bench_function(format!("portable_laplacian_L{l}"), |b| {
             let platform = Platform::portable_h100();
-            let config = StencilConfig::validation(l, Precision::Fp64);
             b.iter(|| stencil7::run(&platform, &config).unwrap())
         });
     }

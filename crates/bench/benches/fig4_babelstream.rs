@@ -2,15 +2,27 @@
 
 use criterion::{Criterion, Throughput};
 use experiment_report::ExperimentId;
-use gpu_spec::Precision;
-use science_kernels::babelstream::{self, BabelStreamConfig};
+use science_kernels::babelstream;
+use science_kernels::workload::{self, ParamValue};
 use vendor_models::kernel_class::StreamOp;
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_babelstream");
-    // Functional execution of each portable kernel at 2^20 elements.
-    let config = BabelStreamConfig::validation(1 << 20, Precision::Fp64);
+    // Functional execution of each portable kernel at the workload's bench
+    // preset size (validation is auto-enabled at this size), driven through
+    // the same Params the sweep engine uses.
+    let engine = workload::find("babelstream").expect("registered workload");
+    let mut params = engine.default_params();
+    params
+        .set(
+            engine.size_param(),
+            ParamValue::Int(engine.bench_sizes()[0]),
+        )
+        .expect("size param");
+    engine.validate(&params).expect("bench preset validates");
+    let config = babelstream::workload::config(&params).expect("bench preset decodes");
+    assert!(config.validate, "bench preset must execute functionally");
     let platform = Platform::portable_mi300a();
     for op in StreamOp::ALL {
         // Bytes moved per launch differ per op (2 arrays for Copy/Mul/Dot,

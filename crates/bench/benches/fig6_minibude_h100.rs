@@ -2,15 +2,27 @@
 
 use criterion::{Criterion, Throughput};
 use experiment_report::ExperimentId;
-use science_kernels::minibude::{self, MiniBudeConfig};
+use science_kernels::minibude;
+use science_kernels::workload::{self, ParamValue};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_minibude");
-    // Functional execution of the portable fasten kernel on a reduced deck.
-    for ppwi in [1u32, 4, 16] {
+    // Functional execution of the portable fasten kernel at the workload's
+    // bench preset PPWI values, on a reduced deck so the measured work is
+    // the kernel itself.
+    let engine = workload::find("minibude").expect("registered workload");
+    for &ppwi in engine.bench_sizes() {
+        let mut params = engine.default_params();
+        params
+            .set(engine.size_param(), ParamValue::Int(ppwi))
+            .expect("size param");
+        params
+            .apply_encoding("poses=128,natlig=8,natpro=64")
+            .expect("reduced deck");
+        engine.validate(&params).expect("bench preset validates");
+        let config = minibude::workload::config(&params).expect("bench preset decodes");
         let platform = Platform::portable_h100();
-        let config = MiniBudeConfig::validation(ppwi, 64);
         // Poses actually executed per driver run (normalised() rounds the
         // count to a multiple of ppwi, so derive it from this exact config).
         group.throughput(Throughput::Elements(config.executed_poses as u64));

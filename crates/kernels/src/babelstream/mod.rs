@@ -11,8 +11,9 @@ mod cost;
 mod portable;
 mod reference;
 mod vendor;
+pub mod workload;
 
-pub use config::BabelStreamConfig;
+pub use config::{BabelStreamConfig, PAPER_VECTOR_SIZE};
 pub use cost::stream_cost;
 pub use portable::run_portable;
 pub use reference::{expected_values, output_array};

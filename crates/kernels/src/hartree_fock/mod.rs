@@ -21,6 +21,7 @@ mod reference;
 mod sampled;
 mod triangular;
 mod vendor;
+pub mod workload;
 
 pub use config::{HartreeFockConfig, DEFAULT_SCREENING_TOL, MAX_FUNCTIONAL_NATOMS};
 pub use cost::{hartree_fock_cost, surviving_quartets};

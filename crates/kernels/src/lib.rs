@@ -17,7 +17,10 @@
 //! * an analytic **cost model** (bytes, FLOPs, atomics) that the unit tests
 //!   cross-check against instrumented counts on small problems,
 //! * a host driver returning a [`common::WorkloadRun`] that the report and
-//!   bench crates turn into the paper's tables and figures.
+//!   bench crates turn into the paper's tables and figures,
+//! * a [`workload`] adapter exposing the drivers as a named, parameterizable
+//!   [`workload::Workload`] — the layer the experiment registry, the
+//!   `mojo-hpc sweep` engine and the bench presets share.
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,8 @@ pub mod minibude;
 pub mod prelude;
 pub mod real;
 pub mod stencil7;
+pub mod workload;
 
 pub use common::{Verification, WorkloadRun};
 pub use real::Real;
+pub use workload::{Measurement, ParamSpec, Params, Workload, WorkloadError, WorkloadOutput};

@@ -20,6 +20,7 @@ mod deck;
 mod portable;
 mod reference;
 mod vendor;
+pub mod workload;
 
 pub use config::MiniBudeConfig;
 pub use cost::fasten_cost;

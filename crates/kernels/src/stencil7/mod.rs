@@ -11,6 +11,7 @@ mod cost;
 mod portable;
 mod reference;
 mod vendor;
+pub mod workload;
 
 pub use config::{functional_limit, StencilConfig, MAX_FUNCTIONAL_L, MAX_FUNCTIONAL_L_FP32};
 pub use cost::stencil_cost;

@@ -2,27 +2,54 @@
 //!
 //! Subcommands:
 //!
-//! * `list` — print every experiment id and its paper caption;
+//! * `list` — print every experiment id and its paper caption, plus every
+//!   registered workload with its tunable parameters and defaults;
 //! * `run --all | <experiment>…` — regenerate experiments (renders to
-//!   stdout, CSV files under `--out DIR`);
+//!   stdout, CSV or JSON files under `--out DIR`, `--format csv|json`);
 //! * `run hartree-fock --atoms N` — sharded/sampled functional validation of
 //!   the Hartree–Fock kernel at any system size;
+//! * `sweep <workload> --sizes a,b,c` — run any registered workload at
+//!   custom problem sizes (with optional `key=value` parameter overrides);
 //! * `diff <dir-a> <dir-b>` — byte-compare two experiment CSV directories;
 //! * `bench-diff <a> <b>` — compare bench JSON records (dispatched by the
 //!   binary to the bench crate; only parsed here).
 //!
 //! Exit codes: `0` success, `1` difference found or validation failed, `2`
 //! usage error. All diagnostics go to stderr; stdout carries only the
-//! deterministic experiment renderings, so `run` output can be compared
-//! byte-for-byte across runs and thread counts.
+//! deterministic experiment renderings, so `run` and `sweep` output can be
+//! compared byte-for-byte across runs and thread counts.
 
-use crate::registry::{run_experiments, ExperimentId};
+use crate::registry::{run_experiments, ExperimentId, EXPERIMENTS};
+use crate::report::ExperimentReport;
+use crate::sweep::{run_sweep, SweepSpec};
 use hpc_metrics::output::{self, CsvTable};
 use science_kernels::hartree_fock::{
     run_sampled, HartreeFockConfig, SampledValidation, DEFAULT_SAMPLES, DEFAULT_SHARDS,
 };
+use science_kernels::workload;
 use std::path::{Path, PathBuf};
 use vendor_models::Platform;
+
+/// Output rendering of `run` and `sweep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable console text plus CSV files (the default).
+    #[default]
+    Csv,
+    /// A JSON document on stdout plus one JSON file per report.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` value.
+    pub fn parse(value: &str) -> Result<OutputFormat, String> {
+        match value {
+            "csv" => Ok(OutputFormat::Csv),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("--format: expected csv or json, got '{other}'")),
+        }
+    }
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +60,8 @@ pub enum Command {
     Run(RunArgs),
     /// `run hartree-fock`: sampled functional validation.
     RunHartreeFock(HartreeFockArgs),
+    /// `sweep`: run a workload at custom sizes.
+    Sweep(SweepArgs),
     /// `diff`: compare two experiment CSV directories.
     Diff {
         /// Baseline directory.
@@ -56,10 +85,29 @@ pub enum Command {
 pub struct RunArgs {
     /// Experiments to regenerate, in presentation order.
     pub ids: Vec<ExperimentId>,
-    /// CSV output directory (`target/experiments` when absent).
+    /// File output directory (`target/experiments` when absent).
     pub out: Option<PathBuf>,
     /// Worker-thread override applied before the pool starts.
     pub threads: Option<usize>,
+    /// Output rendering (CSV files + console text, or JSON).
+    pub format: OutputFormat,
+}
+
+/// Arguments of `sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Registered workload name.
+    pub workload: String,
+    /// Values of the workload's size parameter, in presentation order.
+    pub sizes: Vec<u64>,
+    /// `key=value` parameter overrides applied to the workload defaults.
+    pub params: Vec<String>,
+    /// File output directory (`target/experiments` when absent).
+    pub out: Option<PathBuf>,
+    /// Worker-thread override applied before the pool starts.
+    pub threads: Option<usize>,
+    /// Output rendering (CSV files + console text, or JSON).
+    pub format: OutputFormat,
 }
 
 /// Arguments of `run hartree-fock`.
@@ -87,15 +135,20 @@ pub fn usage() -> &'static str {
 USAGE:
   mojo-hpc list
   mojo-hpc run (--all | <experiment>...) [--out DIR] [--threads N]
+                            [--format csv|json]
   mojo-hpc run hartree-fock --atoms N [--ngauss G] [--sample N] [--shards N]
                             [--out DIR] [--threads N]
+  mojo-hpc sweep <workload> --sizes A,B,C [key=value ...] [--out DIR]
+                            [--threads N] [--format csv|json]
   mojo-hpc diff <dir-a> <dir-b>
   mojo-hpc bench-diff <baseline.json|dir> <current.json|dir>
   mojo-hpc help
 
-Experiment renderings go to stdout (byte-identical at every --threads /
-RAYON_NUM_THREADS setting); CSV files land under --out (default
-target/experiments); diagnostics go to stderr.
+Experiment and sweep renderings go to stdout (byte-identical at every
+--threads / RAYON_NUM_THREADS setting); CSV or JSON files land under --out
+(default target/experiments); diagnostics go to stderr. `mojo-hpc list`
+names every workload with its tunable parameters and defaults; `--sizes`
+sweeps the workload's size parameter and `key=value` pins any other.
 
 EXIT CODES:
   0  success / directories identical
@@ -116,6 +169,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::List)
         }
         "run" => parse_run(&rest),
+        "sweep" => parse_sweep(&rest),
         "diff" => {
             let [a, b] = two_paths("diff", &rest)?;
             Ok(Command::Diff { dir_a: a, dir_b: b })
@@ -178,12 +232,14 @@ fn parse_run(rest: &[&str]) -> Result<Command, String> {
     let mut all = false;
     let mut out = None;
     let mut threads = None;
+    let mut format = OutputFormat::default();
     let mut args = rest.iter().copied();
     while let Some(arg) = args.next() {
         match arg {
             "--all" => all = true,
             "--out" => out = Some(PathBuf::from(flag_value("--out", &mut args)?)),
             "--threads" => threads = Some(parse_threads(flag_value("--threads", &mut args)?)?),
+            "--format" => format = OutputFormat::parse(flag_value("--format", &mut args)?)?,
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
             id => ids.push(id.parse::<ExperimentId>().map_err(|e| {
                 format!(
@@ -205,7 +261,78 @@ fn parse_run(rest: &[&str]) -> Result<Command, String> {
     } else if ids.is_empty() {
         return Err("'run' needs --all or at least one experiment id".to_string());
     }
-    Ok(Command::Run(RunArgs { ids, out, threads }))
+    Ok(Command::Run(RunArgs {
+        ids,
+        out,
+        threads,
+        format,
+    }))
+}
+
+/// Parses a `--sizes` value: comma-separated positive integers.
+fn parse_sizes(value: &str) -> Result<Vec<u64>, String> {
+    let sizes: Vec<u64> = value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("--sizes: invalid size '{s}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    if sizes.is_empty() {
+        return Err("--sizes needs at least one value".to_string());
+    }
+    Ok(sizes)
+}
+
+fn parse_sweep(rest: &[&str]) -> Result<Command, String> {
+    let known = || {
+        workload::all()
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let Some((&name, rest)) = rest.split_first() else {
+        return Err(format!(
+            "'sweep' needs a workload name (known: {})",
+            known()
+        ));
+    };
+    if name.starts_with('-') {
+        return Err(format!(
+            "'sweep' needs a workload name before flags (known: {})",
+            known()
+        ));
+    }
+    let mut sizes = None;
+    let mut params = Vec::new();
+    let mut out = None;
+    let mut threads = None;
+    let mut format = OutputFormat::default();
+    let mut args = rest.iter().copied();
+    while let Some(arg) = args.next() {
+        match arg {
+            "--sizes" => sizes = Some(parse_sizes(flag_value("--sizes", &mut args)?)?),
+            "--out" => out = Some(PathBuf::from(flag_value("--out", &mut args)?)),
+            "--threads" => threads = Some(parse_threads(flag_value("--threads", &mut args)?)?),
+            "--format" => format = OutputFormat::parse(flag_value("--format", &mut args)?)?,
+            assignment if assignment.contains('=') && !assignment.starts_with('-') => {
+                params.push(assignment.to_string());
+            }
+            other => return Err(format!("unknown 'sweep' argument '{other}'")),
+        }
+    }
+    let sizes = sizes.ok_or_else(|| "'sweep' needs --sizes A,B,C".to_string())?;
+    Ok(Command::Sweep(SweepArgs {
+        workload: name.to_string(),
+        sizes,
+        params,
+        out,
+        threads,
+        format,
+    }))
 }
 
 fn parse_run_hartree_fock(rest: &[&str]) -> Result<Command, String> {
@@ -270,13 +397,12 @@ fn apply_threads(threads: Option<usize>) {
 pub fn execute(command: &Command) -> i32 {
     match command {
         Command::List => {
-            for id in ExperimentId::ALL {
-                println!("{:<8} {}", id.as_str(), id.title());
-            }
+            execute_list();
             0
         }
         Command::Run(args) => execute_run(args),
         Command::RunHartreeFock(args) => execute_hartree_fock(args),
+        Command::Sweep(args) => execute_sweep(args),
         Command::Diff { dir_a, dir_b } => execute_diff(dir_a, dir_b),
         Command::BenchDiff { .. } => unreachable!("bench-diff is dispatched by the binary"),
         Command::Help => {
@@ -286,28 +412,130 @@ pub fn execute(command: &Command) -> i32 {
     }
 }
 
+/// Prints the experiment registry and every workload with its parameters.
+fn execute_list() {
+    println!("experiments (mojo-hpc run <id>):");
+    for spec in &EXPERIMENTS {
+        let preset = match spec.workload {
+            Some(p) => format!("  [workload: {}]", p.workload),
+            None => String::new(),
+        };
+        println!("  {:<8} {}{preset}", spec.name, spec.title);
+    }
+    println!();
+    println!("workloads (mojo-hpc sweep <workload> --sizes A,B,C [key=value ...]):");
+    for engine in workload::all() {
+        println!("  {:<22} {}", engine.name(), engine.description());
+        println!(
+            "  {:<22} fom: {}; sweep axis: {}",
+            "",
+            engine.fom_label(),
+            engine.size_param()
+        );
+        for spec in engine.params() {
+            println!(
+                "      {:<18} {}",
+                format!("{}={}", spec.name, spec.default),
+                spec.help
+            );
+        }
+    }
+}
+
+/// Writes a report's files (CSV tables or the JSON document) under `dir`,
+/// echoing the paths to stderr. Returns false on an I/O failure.
+fn write_report_files(report: &ExperimentReport, dir: &Path, format: OutputFormat) -> bool {
+    match format {
+        OutputFormat::Csv => match report.write_csv_files_to(dir) {
+            Ok(paths) => {
+                for path in paths {
+                    eprintln!("  [csv] {}", path.display());
+                }
+                true
+            }
+            Err(err) => {
+                eprintln!("failed to write CSV for {}: {err}", report.id);
+                false
+            }
+        },
+        OutputFormat::Json => match report.write_json_file_to(dir) {
+            Ok(path) => {
+                eprintln!("  [json] {}", path.display());
+                true
+            }
+            Err(err) => {
+                eprintln!("failed to write JSON for {}: {err}", report.id);
+                false
+            }
+        },
+    }
+}
+
 fn execute_run(args: &RunArgs) -> i32 {
     apply_threads(args.threads);
     let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
     let started = std::time::Instant::now();
     let reports = run_experiments(&args.ids);
+    if args.format == OutputFormat::Json {
+        print!("{}", ExperimentReport::render_json_array(&reports));
+    }
     for report in &reports {
-        println!("{}", report.render());
-        match report.write_csv_files_to(&out_dir) {
-            Ok(paths) => {
-                for path in paths {
-                    eprintln!("  [csv] {}", path.display());
-                }
-            }
-            Err(err) => {
-                eprintln!("failed to write CSV for {}: {err}", report.id);
-                return 1;
-            }
+        if args.format == OutputFormat::Csv {
+            println!("{}", report.render());
+        }
+        if !write_report_files(report, &out_dir, args.format) {
+            return 1;
         }
     }
     eprintln!(
         "regenerated {} experiment(s) in {:.3} s",
         reports.len(),
+        started.elapsed().as_secs_f64()
+    );
+    0
+}
+
+fn execute_sweep(args: &SweepArgs) -> i32 {
+    apply_threads(args.threads);
+    let Some(engine) = workload::find(&args.workload) else {
+        eprintln!(
+            "error: unknown workload '{}' (known: {})",
+            args.workload,
+            workload::all()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return 2;
+    };
+    let spec = match SweepSpec::new(engine, &args.params, args.sizes.clone()) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return 2;
+        }
+    };
+    let started = std::time::Instant::now();
+    let report = match run_sweep(&spec) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("sweep failed: {err}");
+            return 1;
+        }
+    };
+    match args.format {
+        OutputFormat::Csv => println!("{}", report.render()),
+        OutputFormat::Json => print!("{}", report.to_json_pretty()),
+    }
+    let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
+    if !write_report_files(&report, &out_dir, args.format) {
+        return 1;
+    }
+    eprintln!(
+        "swept {} over {} size(s) in {:.3} s",
+        engine.name(),
+        args.sizes.len(),
         started.elapsed().as_secs_f64()
     );
     0
@@ -509,6 +737,53 @@ mod tests {
             parse_line("bench-diff a.json b.json").unwrap(),
             Command::BenchDiff { .. }
         ));
+    }
+
+    #[test]
+    fn parses_sweep_and_format_flags() {
+        match parse_line("sweep stencil --sizes 64,128,256 precision=fp32 --format json").unwrap() {
+            Command::Sweep(args) => {
+                assert_eq!(args.workload, "stencil");
+                assert_eq!(args.sizes, vec![64, 128, 256]);
+                assert_eq!(args.params, vec!["precision=fp32".to_string()]);
+                assert_eq!(args.format, OutputFormat::Json);
+                assert_eq!(args.threads, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_line("run --all --format json").unwrap() {
+            Command::Run(args) => assert_eq!(args.format, OutputFormat::Json),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_line("run --all").unwrap() {
+            Command::Run(args) => assert_eq!(args.format, OutputFormat::Csv),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_sweep_lines() {
+        assert!(parse_line("sweep").is_err());
+        assert!(parse_line("sweep stencil").is_err());
+        assert!(parse_line("sweep stencil --sizes").is_err());
+        assert!(parse_line("sweep stencil --sizes ,").is_err());
+        assert!(parse_line("sweep stencil --sizes 64,x").is_err());
+        assert!(parse_line("sweep stencil --sizes 64 --frobnicate").is_err());
+        assert!(parse_line("sweep --sizes 64").is_err());
+        assert!(parse_line("run --all --format yaml").is_err());
+    }
+
+    #[test]
+    fn sweep_of_an_unknown_workload_exits_2_naming_the_known_ones() {
+        let Command::Sweep(args) = parse_line("sweep frobnicate --sizes 4").unwrap() else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(execute_sweep(&args), 2);
+        // Invalid parameters are also a usage error, caught before running.
+        let Command::Sweep(args) = parse_line("sweep stencil --sizes 2").unwrap() else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(execute_sweep(&args), 2);
     }
 
     #[test]

@@ -2,23 +2,27 @@
 //! Mojo vs HIP (MI300A).
 
 use super::support::{h100_pair, mi300a_pair, stencil_fom, RUNS_PER_CONFIG, STENCIL_JITTER};
+use crate::registry::ExperimentId;
 use crate::render::Series;
 use crate::report::ExperimentReport;
-use gpu_spec::Precision;
 use hpc_metrics::output::CsvTable;
 use hpc_metrics::{stencil_bandwidth_gbs, RunStats};
-use science_kernels::stencil7::{self, StencilConfig};
+use science_kernels::stencil7::{self, workload as stencil_workload, StencilConfig};
 use vendor_models::Platform;
 
-/// The problem sizes and precisions swept in Figure 3.
+/// The problem sizes and precisions swept in Figure 3, decoded from the
+/// registry's workload presets — the figure is the `stencil` scenario engine
+/// run at four pinned parameter assignments.
 pub fn configurations() -> Vec<StencilConfig> {
-    let mut configs = Vec::new();
-    for &l in &[512usize, 1024] {
-        for precision in [Precision::Fp32, Precision::Fp64] {
-            configs.push(StencilConfig::paper(l, precision));
-        }
-    }
-    configs
+    ExperimentId::Fig3
+        .spec()
+        .workload
+        .expect("fig3 measures the stencil workload")
+        .resolve()
+        .expect("fig3 presets validate")
+        .iter()
+        .map(|params| stencil_workload::config(params).expect("fig3 presets decode"))
+        .collect()
 }
 
 /// Regenerates Figure 3 (both subfigures).
@@ -90,6 +94,21 @@ pub fn efficiency(portable: &Platform, vendor: &Platform, config: &StencilConfig
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_spec::Precision;
+
+    #[test]
+    fn fig3_configurations_come_from_the_registry_presets() {
+        let configs = configurations();
+        assert_eq!(
+            configs,
+            vec![
+                StencilConfig::paper(512, Precision::Fp32),
+                StencilConfig::paper(512, Precision::Fp64),
+                StencilConfig::paper(1024, Precision::Fp32),
+                StencilConfig::paper(1024, Precision::Fp64),
+            ]
+        );
+    }
 
     #[test]
     fn fig3_shows_the_87_percent_gap_on_h100_and_parity_on_mi300a() {

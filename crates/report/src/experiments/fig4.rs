@@ -2,14 +2,28 @@
 //! (H100) and Mojo vs HIP (MI300A).
 
 use super::support::{h100_pair, mi300a_pair, stream_fom, RUNS_PER_CONFIG, STREAM_JITTER};
+use crate::registry::ExperimentId;
 use crate::render::Series;
 use crate::report::ExperimentReport;
-use gpu_spec::Precision;
 use hpc_metrics::output::CsvTable;
 use hpc_metrics::RunStats;
-use science_kernels::babelstream::{self, BabelStreamConfig};
+use science_kernels::babelstream::{self, workload as stream_workload, BabelStreamConfig};
 use vendor_models::kernel_class::StreamOp;
 use vendor_models::Platform;
+
+/// The paper's 2^25-element FP64 configuration, decoded from the registry's
+/// workload preset (the figure is the `babelstream` scenario engine run at
+/// one pinned assignment).
+pub fn configuration() -> BabelStreamConfig {
+    let params = ExperimentId::Fig4
+        .spec()
+        .workload
+        .expect("fig4 measures the babelstream workload")
+        .resolve()
+        .expect("fig4 preset validates")
+        .remove(0);
+    stream_workload::config(&params).expect("fig4 preset decodes")
+}
 
 /// Regenerates Figure 4 (both subfigures) at the paper's 2^25-element size.
 pub fn run() -> ExperimentReport {
@@ -17,7 +31,7 @@ pub fn run() -> ExperimentReport {
         "fig4",
         "Mojo vs CUDA/HIP BabelStream effective bandwidth (Eq. 2), n = 2^25 FP64",
     );
-    let config = BabelStreamConfig::paper(Precision::Fp64);
+    let config = configuration();
     let mut csv = CsvTable::new(["device", "backend", "op", "mean_bandwidth_gbs", "std_gbs"]);
 
     for (subfigure, (portable, vendor)) in
@@ -54,7 +68,7 @@ pub fn run() -> ExperimentReport {
 /// The portable-to-vendor bandwidth ratio for one operation on one device
 /// pair (used by Table 5 and the tests).
 pub fn efficiency(portable: &Platform, vendor: &Platform, op: StreamOp) -> f64 {
-    let config = BabelStreamConfig::paper(Precision::Fp64);
+    let config = configuration();
     let p = babelstream::run(portable, op, &config).expect("portable run");
     let v = babelstream::run(vendor, op, &config).expect("vendor run");
     stream_fom(&p, op, &config) / stream_fom(&v, op, &config)
@@ -63,6 +77,12 @@ pub fn efficiency(portable: &Platform, vendor: &Platform, op: StreamOp) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_spec::Precision;
+
+    #[test]
+    fn fig4_configuration_comes_from_the_registry_preset() {
+        assert_eq!(configuration(), BabelStreamConfig::paper(Precision::Fp64));
+    }
 
     #[test]
     fn fig4_shows_mojo_ahead_except_for_dot_on_h100() {

@@ -63,15 +63,10 @@ pub fn bude_fom(run: &WorkloadRun, config: &MiniBudeConfig) -> f64 {
     minibude_gflops(&sizes, run.seconds())
 }
 
-/// Maps the kernel-side operation enum onto the metric-side one.
+/// Maps the kernel-side operation enum onto the metric-side one (shared
+/// with the workload layer's figure-of-merit computation).
 pub fn to_metric_op(op: StreamOp) -> BabelStreamOp {
-    match op {
-        StreamOp::Copy => BabelStreamOp::Copy,
-        StreamOp::Mul => BabelStreamOp::Mul,
-        StreamOp::Add => BabelStreamOp::Add,
-        StreamOp::Triad => BabelStreamOp::Triad,
-        StreamOp::Dot => BabelStreamOp::Dot,
-    }
+    science_kernels::babelstream::workload::metric_op(op)
 }
 
 #[cfg(test)]

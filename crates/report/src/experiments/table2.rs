@@ -29,6 +29,7 @@ pub fn run() -> ExperimentReport {
         "table2",
         "Seven-point stencil Mojo vs CUDA NCU profiling metrics",
     );
+    report.push_line("[profile constants: EXPERIMENTS.md \u{00a7} Seven-point stencil]");
     let spec = presets::h100_nvl();
     let mut csv = CsvTable::new([
         "case",
@@ -116,6 +117,8 @@ mod tests {
         // Both profiled cases appear.
         assert!(text.contains("Double Precision L=512"));
         assert!(text.contains("Single Precision L=1024"));
+        // The rendered header links the calibration provenance.
+        assert!(text.contains("EXPERIMENTS.md"));
         assert_eq!(report.tables[0].1.rows.len(), 4);
     }
 }

@@ -21,6 +21,7 @@ pub fn run() -> ExperimentReport {
         "table3",
         "BabelStream Mojo vs CUDA NCU profiling metrics (n = 2^25 FP64)",
     );
+    report.push_line("[profile constants: EXPERIMENTS.md \u{00a7} BabelStream]");
     let spec = presets::h100_nvl();
     let config = BabelStreamConfig::paper(Precision::Fp64);
     let mut header = vec!["ncu metric".to_string()];

@@ -53,6 +53,7 @@ pub fn run() -> ExperimentReport {
         "table4",
         "Hartree-Fock kernel execution duration (ms), Mojo vs CUDA and HIP",
     );
+    report.push_line("[profile constants: EXPERIMENTS.md \u{00a7} Hartree-Fock]");
     let mut table = AsciiTable::new([
         "case",
         "H100 Mojo",

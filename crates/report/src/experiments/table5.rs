@@ -79,6 +79,7 @@ pub fn portability_tables() -> Vec<PortabilityTable> {
 /// Regenerates Table 5.
 pub fn run() -> ExperimentReport {
     let mut report = ExperimentReport::new("table5", "Mojo performance-portability metric (Eq. 4)");
+    report.push_line("[profile constants: EXPERIMENTS.md \u{00a7} all sections (derived metric)]");
     let mut csv = CsvTable::new([
         "application",
         "configuration",

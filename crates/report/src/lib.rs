@@ -29,6 +29,11 @@ pub mod prelude;
 pub mod registry;
 pub mod render;
 pub mod report;
+pub mod sweep;
 
-pub use registry::{all_experiments, run_experiment, run_experiments, ExperimentId};
+pub use registry::{
+    all_experiments, run_experiment, run_experiments, ExperimentId, ExperimentSpec, WorkloadPreset,
+    EXPERIMENTS,
+};
 pub use report::ExperimentReport;
+pub use sweep::{run_sweep, SweepSpec};

@@ -1,6 +1,7 @@
 //! The output type every experiment produces.
 
 use hpc_metrics::output::{self, CsvTable};
+use serde::value::Value;
 use std::path::PathBuf;
 
 /// The result of regenerating one table or figure.
@@ -60,6 +61,75 @@ impl ExperimentReport {
     pub fn render(&self) -> String {
         format!("=== {} — {} ===\n{}", self.id, self.title, self.text)
     }
+
+    /// The report as a JSON value tree. The schema is stable:
+    ///
+    /// ```json
+    /// {
+    ///   "id": "fig4",
+    ///   "title": "…",
+    ///   "text": "…console rendering…",
+    ///   "tables": [
+    ///     { "name": "bandwidth", "header": ["device", …],
+    ///       "rows": [["NVIDIA H100 NVL - 94 GB", …], …] }
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Table cells stay strings — exactly the bytes the CSV rendering carries
+    /// — so the JSON output is byte-identical wherever the CSV output is.
+    pub fn to_json_value(&self) -> Value {
+        let tables = self
+            .tables
+            .iter()
+            .map(|(name, table)| {
+                let header = table.header.iter().cloned().map(Value::Str).collect();
+                let rows = table
+                    .rows
+                    .iter()
+                    .map(|row| Value::Array(row.iter().cloned().map(Value::Str).collect()))
+                    .collect();
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(name.clone())),
+                    ("header".to_string(), Value::Array(header)),
+                    ("rows".to_string(), Value::Array(rows)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("title".to_string(), Value::Str(self.title.clone())),
+            ("text".to_string(), Value::Str(self.text.clone())),
+            ("tables".to_string(), Value::Array(tables)),
+        ])
+    }
+
+    /// The report as pretty-printed JSON text (with a trailing newline, so
+    /// the emitted files and stdout stream are valid line-terminated text).
+    pub fn to_json_pretty(&self) -> String {
+        let mut json =
+            serde_json::to_string_pretty(&self.to_json_value()).expect("report serialises");
+        json.push('\n');
+        json
+    }
+
+    /// Writes the whole report as `<dir>/<id>.json` (creating `dir` as
+    /// needed) and returns the written path.
+    pub fn write_json_file_to(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, self.to_json_pretty())?;
+        Ok(path)
+    }
+
+    /// Renders a set of reports as one pretty-printed JSON array (the
+    /// `run --all --format json` stdout payload).
+    pub fn render_json_array(reports: &[ExperimentReport]) -> String {
+        let array = Value::Array(reports.iter().map(|r| r.to_json_value()).collect());
+        let mut json = serde_json::to_string_pretty(&array).expect("reports serialise");
+        json.push('\n');
+        json
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +148,38 @@ mod tests {
         let rendered = r.render();
         assert!(rendered.contains("table9"));
         assert!(rendered.contains("row 1\nrow 2\n"));
+    }
+
+    #[test]
+    fn json_rendering_carries_the_same_cells_as_the_csv() {
+        let mut r = ExperimentReport::new("table9", "An example");
+        r.push_line("row 1");
+        let mut csv = CsvTable::new(["a", "b"]);
+        csv.push_row(["1", "x,y"]);
+        r.push_table("data", csv);
+        let json = r.to_json_pretty();
+        assert!(json.ends_with('\n'));
+        assert!(json.contains("\"id\": \"table9\""));
+        assert!(json.contains("\"name\": \"data\""));
+        // Cells are carried verbatim (no CSV quoting in the JSON lane).
+        assert!(json.contains("\"x,y\""));
+        let array = ExperimentReport::render_json_array(&[r.clone(), r]);
+        assert!(array.starts_with('['));
+        assert_eq!(array.matches("\"id\": \"table9\"").count(), 2);
+    }
+
+    #[test]
+    fn json_files_are_written_under_the_report_id() {
+        let dir = std::env::temp_dir().join(format!("mojo-hpc-json-test-{}", std::process::id()));
+        let mut r = ExperimentReport::new("unit-test-json", "tmp");
+        let mut csv = CsvTable::new(["x"]);
+        csv.push_row(["1"]);
+        r.push_table("points", csv);
+        let path = r.write_json_file_to(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "unit-test-json.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, r.to_json_pretty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

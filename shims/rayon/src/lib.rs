@@ -1,7 +1,10 @@
 //! Offline stand-in for `rayon`.
 //!
 //! Implements the slice of rayon this workspace uses — `into_par_iter()` over
-//! integer ranges (`for_each`, `map().collect()`), `par_chunks_mut`,
+//! integer ranges, [`par_iter()`](ParallelSlice::par_iter) over borrowed
+//! slices (`for_each`, `map().collect()`, the deterministic
+//! [`reduce`](IndexedParallelIterator::reduce) /
+//! [`fold`](IndexedParallelIterator::fold) lanes), `par_chunks_mut`,
 //! [`join`], and `ThreadPoolBuilder::install` for single-threaded runs — on
 //! top of a **persistent work-stealing thread pool** ([`pool`]). Workers are
 //! spawned once per process and kept alive; every parallel region is split
@@ -20,7 +23,10 @@ pub use pool::{current_num_threads, join};
 
 /// The rayon-style glob import.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSliceMut};
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder` for the one configuration the
@@ -153,17 +159,37 @@ where
     if len == 0 {
         return identity();
     }
+    let partials = chunk_partials(len, identity, &|acc, i| op(acc, map(i)));
+    combine_pairwise(partials, op)
+}
+
+/// The fixed-chunk partial accumulators both deterministic lanes share: one
+/// accumulator per [`REDUCE_CHUNK`]-sized chunk, seeded with `seed()` and
+/// folded left-to-right with `fold_op` over the chunk's positions. The
+/// grouping is a pure function of `len`, which is what makes every lane
+/// built on it bitwise-stable across thread counts.
+fn chunk_partials<R, ID, FO>(len: usize, seed: &ID, fold_op: &FO) -> Vec<R>
+where
+    R: Send,
+    ID: Fn() -> R + Sync,
+    FO: Fn(R, usize) -> R + Sync,
+{
     let nchunks = len.div_ceil(REDUCE_CHUNK);
-    let mut partials: Vec<R> = parallel_collect(nchunks, |chunk| {
+    parallel_collect(nchunks, move |chunk| {
         let start = chunk * REDUCE_CHUNK;
         let end = (start + REDUCE_CHUNK).min(len);
-        let mut acc = identity();
+        let mut acc = seed();
         for i in start..end {
-            acc = op(acc, map(i));
+            acc = fold_op(acc, i);
         }
         acc
-    });
-    // Fixed pairwise tree over the in-order chunk partials, on the caller.
+    })
+}
+
+/// Combines in-order chunk partials through a fixed pairwise tree on the
+/// calling thread. The tree shape depends only on the partial count, so the
+/// combine order is identical at every thread count.
+fn combine_pairwise<R, OP: Fn(R, R) -> R>(mut partials: Vec<R>, op: &OP) -> R {
     while partials.len() > 1 {
         let mut next = Vec::with_capacity(partials.len().div_ceil(2));
         let mut pairs = partials.into_iter();
@@ -270,7 +296,7 @@ impl<T: RangeInt> ParallelIterator for RangeIter<T> {
     }
 }
 
-impl<T: RangeInt> RangeIter<T> {
+impl<T: RangeInt> IndexedParallelIterator for RangeIter<T> {
     fn len(&self) -> usize {
         T::span(self.range.start, self.range.end)
     }
@@ -280,45 +306,143 @@ impl<T: RangeInt> RangeIter<T> {
     }
 }
 
-impl<T: RangeInt, F> Map<RangeIter<T>, F> {
-    /// Collects the mapped results in element order.
-    pub fn collect<C, R>(self) -> C
-    where
-        R: Send,
-        F: Fn(T) -> R + Sync + Send,
-        C: FromIndexedResults<R>,
-    {
-        let len = self.base.len();
-        let base = &self.base;
-        let f = &self.f;
-        C::from_results(parallel_collect(len, move |i| f(base.get(i))))
+/// Parallel iterators with random access by position: integer ranges,
+/// borrowed slices, and `map`s of either. Random access is what lets the
+/// deterministic lanes ([`collect`](Self::collect), [`reduce`](Self::reduce),
+/// [`fold`](Self::fold), [`sum`](Self::sum)) split the input into
+/// *position-fixed* chunks, so their grouping — and therefore their result,
+/// bitwise — is independent of the thread count.
+pub trait IndexedParallelIterator: ParallelIterator + Sync {
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// The element at position `i` (`i < self.len()`).
+    fn get(&self, i: usize) -> Self::Item;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    /// Reduces the mapped results with `op`, seeding every chunk with
-    /// `identity()`, through the deterministic fixed-chunk tree lane: the
-    /// result is bitwise-identical at every thread count (see
-    /// [`REDUCE_CHUNK`]). An empty range returns `identity()`.
-    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    /// Collects the elements in position order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIndexedResults<Self::Item>,
+    {
+        let this = &self;
+        C::from_results(parallel_collect(self.len(), move |i| this.get(i)))
+    }
+
+    /// Reduces the elements with `op`, seeding every chunk with `identity()`,
+    /// through the deterministic fixed-chunk tree lane: the result is
+    /// bitwise-identical at every thread count (see [`REDUCE_CHUNK`]). An
+    /// empty iterator returns `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let this = &self;
+        parallel_reduce(self.len(), &identity, &move |i| this.get(i), &op)
+    }
+
+    /// Sums the elements through the deterministic reduction lane
+    /// ([`Self::reduce`] with the additive identity).
+    fn sum<S>(self) -> S
+    where
+        S: ParallelSum,
+        Self: IndexedParallelIterator<Item = S>,
+    {
+        self.reduce(S::zero, S::add)
+    }
+
+    /// Folds the elements into accumulators seeded with `identity()`, one per
+    /// [`REDUCE_CHUNK`]-sized chunk, mirroring rayon's `fold`: the result is
+    /// a [`Fold`] of per-chunk partials whose
+    /// [`reduce`](Fold::reduce) combines them through the same fixed pairwise
+    /// tree as [`Self::reduce`]. Chunking is a pure function of the length,
+    /// so a `fold(..).reduce(..)` pipeline is bitwise-stable across thread
+    /// counts even for non-associative accumulators.
+    fn fold<R, ID, FO>(self, identity: ID, fold_op: FO) -> Fold<Self, ID, FO>
     where
         R: Send,
-        F: Fn(T) -> R + Sync + Send,
         ID: Fn() -> R + Sync,
+        FO: Fn(R, Self::Item) -> R + Sync,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+}
+
+/// The deferred result of [`IndexedParallelIterator::fold`]: one accumulator
+/// per fixed-width chunk, combined by [`Fold::reduce`].
+pub struct Fold<I, ID, FO> {
+    base: I,
+    identity: ID,
+    fold_op: FO,
+}
+
+impl<I, ID, FO> Fold<I, ID, FO> {
+    /// Combines the per-chunk accumulators through the fixed pairwise tree.
+    /// `identity()` is returned for an empty input (the chunk accumulators
+    /// themselves are seeded by the `fold` identity), matching rayon's
+    /// `fold(..).reduce(..)` semantics.
+    pub fn reduce<R, RID, OP>(self, identity: RID, op: OP) -> R
+    where
+        I: IndexedParallelIterator,
+        R: Send,
+        ID: Fn() -> R + Sync,
+        FO: Fn(R, I::Item) -> R + Sync,
+        RID: Fn() -> R + Sync,
         OP: Fn(R, R) -> R + Sync,
     {
         let len = self.base.len();
+        if len == 0 {
+            return identity();
+        }
         let base = &self.base;
-        let f = &self.f;
-        parallel_reduce(len, &identity, &move |i| f(base.get(i)), &op)
+        let fold_op = &self.fold_op;
+        let partials = chunk_partials(len, &self.identity, &|acc, i| fold_op(acc, base.get(i)));
+        combine_pairwise(partials, &op)
+    }
+}
+
+/// Conversion of borrowed slices into parallel iterators (rayon's
+/// `par_iter()` entry point for `&[T]`).
+pub trait ParallelSlice<T: Sync> {
+    /// Iterates the slice elements by reference in parallel.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// A parallel iterator over a borrowed slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn for_each<F: Fn(&'a T) + Sync + Send>(self, f: F) {
+        let slice = self.slice;
+        parallel_indexed(slice.len(), |i| f(&slice[i]));
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for SliceIter<'a, T> {
+    fn len(&self) -> usize {
+        self.slice.len()
     }
 
-    /// Sums the mapped results through the deterministic reduction lane
-    /// ([`Self::reduce`] with the additive identity).
-    pub fn sum<S>(self) -> S
-    where
-        S: ParallelSum,
-        F: Fn(T) -> S + Sync + Send,
-    {
-        self.reduce(S::zero, S::add)
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
     }
 }
 
@@ -335,6 +459,18 @@ impl<I: ParallelIterator, R: Send, F: Fn(I::Item) -> R + Sync + Send> ParallelIt
     fn for_each<G: Fn(R) + Sync + Send>(self, g: G) {
         let f = self.f;
         self.base.for_each(move |item| g(f(item)));
+    }
+}
+
+impl<I: IndexedParallelIterator, R: Send, F: Fn(I::Item) -> R + Sync + Send> IndexedParallelIterator
+    for Map<I, F>
+{
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn get(&self, i: usize) -> R {
+        (self.f)(self.base.get(i))
     }
 }
 
@@ -503,6 +639,52 @@ mod tests {
             .map(|i| ((i * 7919) % 10_007) as f64)
             .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(max, expected);
+    }
+
+    #[test]
+    fn slice_par_iter_visits_by_reference_and_collects_in_order() {
+        let data: Vec<u64> = (0..2048).collect();
+        let sum = AtomicU64::new(0);
+        data.par_iter().for_each(|&v| {
+            sum.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 2048 * 2047 / 2);
+        let doubled: Vec<u64> = data.par_iter().map(|&v| v * 2).collect();
+        assert_eq!(doubled[1023], 2046);
+        let total: u64 = data.par_iter().map(|&v| v).sum();
+        assert_eq!(total, 2048 * 2047 / 2);
+    }
+
+    #[test]
+    fn fold_reduce_is_bitwise_stable_across_thread_counts() {
+        let data: Vec<f64> = (0..5000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let fold_sum = |slice: &[f64]| -> f64 {
+            slice
+                .par_iter()
+                .fold(|| 0.0f64, |acc, &v| acc + v)
+                .reduce(|| 0.0, |a, b| a + b)
+        };
+        let pooled = fold_sum(&data);
+        let serial = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| fold_sum(&data));
+        assert_eq!(pooled.to_bits(), serial.to_bits());
+        // The fold lane chunks exactly like the reduce lane, so a fold-sum
+        // equals a map-sum bitwise.
+        let mapped: f64 = data.par_iter().map(|&v| v).sum();
+        assert_eq!(pooled.to_bits(), mapped.to_bits());
+    }
+
+    #[test]
+    fn fold_on_an_empty_input_returns_the_reduce_identity() {
+        let empty: Vec<u64> = Vec::new();
+        let count = empty
+            .par_iter()
+            .fold(|| 0u64, |acc, _| acc + 1)
+            .reduce(|| 7u64, |a, b| a + b);
+        assert_eq!(count, 7);
     }
 
     #[test]

@@ -55,6 +55,47 @@ proptest! {
         );
     }
 
+    /// `par_iter()` over a borrowed slice goes through the same deterministic
+    /// lane as ranges: pooled and serial f64 sums agree bit-for-bit, and both
+    /// agree with the equivalent indexed-range sum (the chunking depends only
+    /// on the length, not on how the elements are addressed).
+    fn slice_par_iter_sum_is_bitwise_stable(v in proptest::collection::vec(-1.0e9f64..1.0e9, 0..4500)) {
+        let pooled: f64 = v.par_iter().map(|&x| x).sum();
+        let serial: f64 = serially(|| v.par_iter().map(|&x| x).sum());
+        let ranged: f64 = (0..v.len()).into_par_iter().map(|i| v[i]).sum();
+        prop_assert_eq!(pooled.to_bits(), serial.to_bits());
+        prop_assert_eq!(pooled.to_bits(), ranged.to_bits());
+    }
+
+    /// The fold lane chunks exactly like the reduce lane: a
+    /// `fold(..).reduce(..)` sum is bitwise-identical to the `map(..).sum()`
+    /// of the same data, pooled or serial.
+    fn fold_reduce_matches_the_sum_lane_bitwise(v in proptest::collection::vec(-1.0e6f64..1.0e6, 0..4500)) {
+        let folded: f64 = v
+            .par_iter()
+            .fold(|| 0.0f64, |acc, &x| acc + x)
+            .reduce(|| 0.0, |a, b| a + b);
+        let serial: f64 = serially(|| {
+            v.par_iter()
+                .fold(|| 0.0f64, |acc, &x| acc + x)
+                .reduce(|| 0.0, |a, b| a + b)
+        });
+        let summed: f64 = v.par_iter().map(|&x| x).sum();
+        prop_assert_eq!(folded.to_bits(), serial.to_bits());
+        prop_assert_eq!(folded.to_bits(), summed.to_bits());
+    }
+
+    /// Folding with a non-trivial accumulator (count + sum pairs) sees every
+    /// element exactly once at any thread count.
+    fn fold_visits_every_element_once(v in proptest::collection::vec(0u64..1_000, 0..4500)) {
+        let (count, total) = v
+            .par_iter()
+            .fold(|| (0u64, 0u64), |(c, s), &x| (c + 1, s + x))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        prop_assert_eq!(count, v.len() as u64);
+        prop_assert_eq!(total, v.iter().sum::<u64>());
+    }
+
     /// Non-commutative reductions (string-order concatenation length model)
     /// still see every element exactly once, in chunk order.
     fn reduce_visits_every_element_once(len in 0usize..6000) {

@@ -24,6 +24,18 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Serialisation / deserialisation error.
 #[derive(Debug, Clone)]
 pub struct Error {

@@ -39,11 +39,157 @@ fn list_names_every_registry_entry() {
         "table5",
     ] {
         assert!(
-            text.lines().any(|line| line.starts_with(id)),
+            text.lines().any(|line| line.trim_start().starts_with(id)),
             "list output missing {id}:\n{text}"
         );
     }
-    assert_eq!(text.lines().count(), 11);
+    // Kernel-measuring experiments name the workload behind them.
+    assert!(text.contains("[workload: stencil]"), "{text}");
+    assert!(text.contains("[workload: hartree-fock]"), "{text}");
+}
+
+#[test]
+fn list_shows_every_workload_with_parameters_and_defaults() {
+    let output = mojo_hpc(&["list"]);
+    assert_eq!(output.status.code(), Some(0));
+    let text = stdout(&output);
+    for workload in [
+        "stencil",
+        "babelstream",
+        "minibude",
+        "hartree-fock",
+        "hartree-fock-sampled",
+    ] {
+        assert!(
+            text.lines()
+                .any(|line| line.trim_start().starts_with(workload)),
+            "list output missing workload {workload}:\n{text}"
+        );
+    }
+    // Tunable parameters appear as key=default pairs with help text.
+    for param in [
+        "l=192",
+        "precision=fp64",
+        "n=33554432",
+        "ppwi=8",
+        "atoms=1024",
+        "samples=4096",
+    ] {
+        assert!(text.contains(param), "list output missing {param}:\n{text}");
+    }
+    // The sweep axis is called out so `--sizes` is discoverable.
+    assert!(text.contains("sweep axis: l"), "{text}");
+    assert!(text.contains("--sizes"), "{text}");
+}
+
+#[test]
+fn sweep_runs_custom_sizes_and_emits_csv_and_json() {
+    let out = scratch("sweep");
+    let csv_run = mojo_hpc(&[
+        "sweep",
+        "stencil",
+        "--sizes",
+        "24,32",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        csv_run.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr(&csv_run)
+    );
+    let text = stdout(&csv_run);
+    assert!(text.contains("=== sweep_stencil"), "{text}");
+    assert!(text.contains("l=24") && text.contains("l=32"), "{text}");
+    let csv_path = out.join("sweep_stencil_sweep.csv");
+    let csv = std::fs::read_to_string(&csv_path).expect("sweep CSV written");
+    assert!(csv
+        .starts_with("workload,l,params,device,backend,kernel,seconds,bandwidth_gbs,verification"));
+    assert_eq!(csv.lines().count(), 1 + 2 * 4, "2 sizes x 4 platforms");
+
+    let json_run = mojo_hpc(&[
+        "sweep",
+        "stencil",
+        "--sizes",
+        "24,32",
+        "--format",
+        "json",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(json_run.status.code(), Some(0));
+    let json = stdout(&json_run);
+    assert!(json.contains("\"id\": \"sweep_stencil\""), "{json}");
+    assert!(out.join("sweep_stencil.json").exists());
+
+    // Parameter overrides flow into the encoded params column.
+    let fp32 = mojo_hpc(&[
+        "sweep",
+        "stencil",
+        "--sizes",
+        "24",
+        "precision=fp32",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(fp32.status.code(), Some(0));
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.contains("precision=fp32"), "{csv}");
+
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn sweep_usage_errors_exit_2() {
+    let unknown = mojo_hpc(&["sweep", "frobnicate", "--sizes", "8"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(
+        stderr(&unknown).contains("stencil"),
+        "should name known workloads"
+    );
+    let no_sizes = mojo_hpc(&["sweep", "stencil"]);
+    assert_eq!(no_sizes.status.code(), Some(2));
+    let bad_param = mojo_hpc(&["sweep", "stencil", "--sizes", "24", "bogus=1"]);
+    assert_eq!(bad_param.status.code(), Some(2));
+    // A size that would overflow the cost model is a usage error, not a run.
+    let overflow = mojo_hpc(&["sweep", "stencil", "--sizes", "10000000000"]);
+    assert_eq!(overflow.status.code(), Some(2));
+    assert!(
+        stderr(&bad_param).contains("unknown parameter"),
+        "{}",
+        stderr(&bad_param)
+    );
+}
+
+#[test]
+fn run_single_experiment_with_json_format_writes_the_json_file() {
+    let out = scratch("run-json");
+    let output = mojo_hpc(&[
+        "run",
+        "table1",
+        "--format",
+        "json",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0));
+    let text = stdout(&output);
+    assert!(
+        text.starts_with('['),
+        "json stdout should be an array: {text}"
+    );
+    assert!(text.contains("\"id\": \"table1\""));
+    assert!(
+        !text.contains("=== table1"),
+        "no console banner in json mode"
+    );
+    assert!(out.join("table1.json").exists());
+    assert!(
+        !out.join("table1_hardware.csv").exists(),
+        "json mode writes no CSV"
+    );
+    std::fs::remove_dir_all(&out).ok();
 }
 
 #[test]

@@ -1,12 +1,15 @@
 //! Golden-file regression suite.
 //!
-//! `tests/golden/` commits the CSV output of `mojo-hpc run --all`. These
-//! tests regenerate the full report through the real binary and assert the
-//! output is **byte-identical** to the committed files — at the default
+//! `tests/golden/` commits the CSV output of `mojo-hpc run --all`, and
+//! `tests/golden/json/` the JSON documents of `run --all --format json`.
+//! These tests regenerate the full report through the real binary and assert
+//! the output is **byte-identical** to the committed files — at the default
 //! thread count and with `RAYON_NUM_THREADS=1` — so any change to the
-//! timing model, the kernels, the executor or the CSV rendering that moves
-//! a single byte of the paper's tables fails loudly. Regenerate the goldens
-//! with `mojo-hpc run --all --out tests/golden` when a change is intended.
+//! timing model, the kernels, the executor or the CSV/JSON rendering that
+//! moves a single byte of the paper's tables fails loudly. Regenerate the
+//! goldens with `mojo-hpc run --all --out tests/golden` (CSV) and
+//! `mojo-hpc run --all --format json --out tests/golden/json` when a change
+//! is intended.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -27,10 +30,11 @@ fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Runs `mojo-hpc run --all --out <dir>` and returns its stdout.
-fn run_all(out: &Path, threads: Option<&str>) -> String {
+/// Runs `mojo-hpc run --all --out <dir>` (plus any extra flags) and returns
+/// its stdout.
+fn run_all_with(out: &Path, threads: Option<&str>, extra: &[&str]) -> String {
     let mut command = Command::new(env!("CARGO_BIN_EXE_mojo-hpc"));
-    command.args(["run", "--all", "--out"]).arg(out);
+    command.args(["run", "--all", "--out"]).arg(out).args(extra);
     match threads {
         Some(n) => command.env("RAYON_NUM_THREADS", n),
         None => command.env_remove("RAYON_NUM_THREADS"),
@@ -42,6 +46,11 @@ fn run_all(out: &Path, threads: Option<&str>) -> String {
         String::from_utf8_lossy(&output.stderr)
     );
     String::from_utf8(output.stdout).expect("stdout is UTF-8")
+}
+
+/// Runs `mojo-hpc run --all --out <dir>` and returns its stdout.
+fn run_all(out: &Path, threads: Option<&str>) -> String {
+    run_all_with(out, threads, &[])
 }
 
 fn csv_names(dir: &Path) -> BTreeSet<String> {
@@ -107,6 +116,68 @@ fn run_all_is_byte_identical_at_one_thread() {
     );
     std::fs::remove_dir_all(&out).ok();
     std::fs::remove_dir_all(&out2).ok();
+}
+
+/// Asserts every committed golden JSON document exists in `generated` with
+/// identical bytes, and that no unexpected documents appeared.
+fn assert_matches_json_golden(generated: &Path) {
+    let golden = golden_dir().join("json");
+    let names: BTreeSet<String> = std::fs::read_dir(&golden)
+        .unwrap_or_else(|e| panic!("read {}: {e}", golden.display()))
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "json"))
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .collect();
+    assert_eq!(
+        names.len(),
+        mojo_hpc::report::ExperimentId::ALL.len(),
+        "one committed JSON golden per experiment"
+    );
+    let generated_names: BTreeSet<String> = std::fs::read_dir(generated)
+        .unwrap_or_else(|e| panic!("read {}: {e}", generated.display()))
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .collect();
+    assert_eq!(
+        generated_names, names,
+        "generated JSON set differs from the committed goldens"
+    );
+    for name in &names {
+        let expected = std::fs::read(golden.join(name)).expect("read golden");
+        let actual = std::fs::read(generated.join(name)).expect("read generated");
+        assert!(
+            actual == expected,
+            "{name} differs from the committed golden (regenerate with \
+             `mojo-hpc run --all --format json --out tests/golden/json` if \
+             the change is intended)"
+        );
+    }
+}
+
+#[test]
+fn run_all_json_is_byte_identical_across_thread_counts_and_matches_goldens() {
+    let out = scratch_dir("json-default");
+    let stdout = run_all_with(&out, None, &["--format", "json"]);
+    // The stdout payload is one JSON array covering every experiment.
+    assert!(stdout.starts_with('['), "json stdout should be an array");
+    for id in mojo_hpc::report::ExperimentId::ALL {
+        assert!(
+            stdout.contains(&format!("\"id\": \"{}\"", id.as_str())),
+            "stdout missing {id}"
+        );
+    }
+    assert_matches_json_golden(&out);
+
+    let out_serial = scratch_dir("json-serial");
+    let serial_stdout = run_all_with(&out_serial, Some("1"), &["--format", "json"]);
+    assert_eq!(
+        stdout, serial_stdout,
+        "json stdout differs between 1 thread and the default pool"
+    );
+    assert_matches_json_golden(&out_serial);
+
+    std::fs::remove_dir_all(&out).ok();
+    std::fs::remove_dir_all(&out_serial).ok();
 }
 
 #[test]
