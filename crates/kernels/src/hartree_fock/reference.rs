@@ -74,7 +74,7 @@ const REFERENCE_CHUNK: u64 = 8192;
 
 /// Builds the Fock matrix over every unscreened quartet.
 ///
-/// The quartet range is split into [`REFERENCE_CHUNK`]-wide chunks, each
+/// The quartet range is split into `REFERENCE_CHUNK`-wide chunks, each
 /// chunk scatters into its own partial Fock matrix on the pool, and the
 /// partials are summed element-wise through the deterministic reduction
 /// lane — parallel, without atomics, and bitwise-identical to a serial run.

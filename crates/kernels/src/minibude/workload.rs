@@ -14,7 +14,7 @@ use hpc_metrics::{minibude_gflops, MiniBudeSizes};
 pub const DECK_SEED: u64 = 0x00b0de;
 
 /// Decodes a validated parameter assignment into a driver configuration.
-/// Functional execution covers [`DEFAULT_EXECUTED_POSES`] poses (rounded to
+/// Functional execution covers `DEFAULT_EXECUTED_POSES` poses (rounded to
 /// a whole number of work-items) with the cost model extrapolating to the
 /// full pose count, exactly as [`MiniBudeConfig::paper`] does.
 pub fn config(params: &Params) -> Result<MiniBudeConfig, WorkloadError> {

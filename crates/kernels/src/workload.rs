@@ -275,7 +275,7 @@ pub struct WorkloadOutput {
 
 /// A parameterizable scenario engine wrapping one kernel family's drivers.
 ///
-/// Implementations are stateless unit structs registered in [`ALL`]; the
+/// Implementations are stateless unit structs registered in [`all()`](all); the
 /// trait is object-safe so the registry, CLI and sweep engine can treat every
 /// workload uniformly.
 pub trait Workload: Sync {
@@ -359,6 +359,16 @@ pub fn all() -> [&'static dyn Workload; 5] {
 /// Looks a workload up by name.
 pub fn find(name: &str) -> Option<&'static dyn Workload> {
     all().into_iter().find(|w| w.name() == name)
+}
+
+/// The comma-separated list of every registered workload name, for usage
+/// and preset error messages.
+pub fn known_names() -> String {
+    all()
+        .iter()
+        .map(|w| w.name())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]

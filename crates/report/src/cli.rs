@@ -10,17 +10,27 @@
 //!   the Hartree–Fock kernel at any system size;
 //! * `sweep <workload> --sizes a,b,c` — run any registered workload at
 //!   custom problem sizes (with optional `key=value` parameter overrides);
-//! * `diff <dir-a> <dir-b>` — byte-compare two experiment CSV directories;
+//!   `--preset-out FILE` saves the resolved configuration, `--preset FILE`
+//!   replays one;
+//! * `shard (run|sweep) … --workers N` — coordinator: spawn `N` worker
+//!   subprocesses of this binary, one shard each, and merge their partial
+//!   JSON documents into output byte-identical to a single-process run
+//!   (protocol: DESIGN.md §10);
+//! * `--shard I/N` on `run`/`sweep` — worker mode: execute shard `I` of the
+//!   command's work items and print a partial-report shard document;
+//! * `diff <dir-a> <dir-b>` — byte-compare the `.csv` and `.json` report
+//!   files of two directories;
 //! * `bench-diff <a> <b>` — compare bench JSON records (dispatched by the
 //!   binary to the bench crate; only parsed here).
 //!
 //! Exit codes: `0` success, `1` difference found or validation failed, `2`
 //! usage error. All diagnostics go to stderr; stdout carries only the
 //! deterministic experiment renderings, so `run` and `sweep` output can be
-//! compared byte-for-byte across runs and thread counts.
+//! compared byte-for-byte across runs, thread counts and worker counts.
 
-use crate::registry::{run_experiments, ExperimentId, EXPERIMENTS};
+use crate::registry::{known_ids, run_experiments, ExperimentId, EXPERIMENTS};
 use crate::report::ExperimentReport;
+use crate::shard::{self, ShardDocument, ShardManifest, ShardSpec};
 use crate::sweep::{run_sweep, SweepSpec};
 use hpc_metrics::output::{self, CsvTable};
 use science_kernels::hartree_fock::{
@@ -62,7 +72,9 @@ pub enum Command {
     RunHartreeFock(HartreeFockArgs),
     /// `sweep`: run a workload at custom sizes.
     Sweep(SweepArgs),
-    /// `diff`: compare two experiment CSV directories.
+    /// `shard`: spawn worker subprocesses and merge their shard documents.
+    Shard(ShardArgs),
+    /// `diff`: compare two experiment report directories (CSV and JSON).
     Diff {
         /// Baseline directory.
         dir_a: PathBuf,
@@ -91,15 +103,19 @@ pub struct RunArgs {
     pub threads: Option<usize>,
     /// Output rendering (CSV files + console text, or JSON).
     pub format: OutputFormat,
+    /// Worker mode: regenerate only this shard of the id list and print a
+    /// shard document instead of reports (DESIGN.md §10).
+    pub shard: Option<ShardSpec>,
 }
 
 /// Arguments of `sweep`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepArgs {
-    /// Registered workload name.
-    pub workload: String,
-    /// Values of the workload's size parameter, in presentation order.
-    pub sizes: Vec<u64>,
+    /// Registered workload name (absent when `--preset` carries it).
+    pub workload: Option<String>,
+    /// Values of the workload's size parameter, in presentation order
+    /// (absent when `--preset` carries them).
+    pub sizes: Option<Vec<u64>>,
     /// `key=value` parameter overrides applied to the workload defaults.
     pub params: Vec<String>,
     /// File output directory (`target/experiments` when absent).
@@ -108,6 +124,23 @@ pub struct SweepArgs {
     pub threads: Option<usize>,
     /// Output rendering (CSV files + console text, or JSON).
     pub format: OutputFormat,
+    /// Worker mode: run only this shard of the sweep points and print a
+    /// shard document instead of a report (DESIGN.md §10).
+    pub shard: Option<ShardSpec>,
+    /// Preset file to load the full sweep configuration from.
+    pub preset: Option<PathBuf>,
+    /// File to save the resolved sweep configuration to.
+    pub preset_out: Option<PathBuf>,
+}
+
+/// Arguments of the `shard` coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardArgs {
+    /// Worker subprocess count (= shard count), at least 1.
+    pub workers: u64,
+    /// The wrapped command ([`Command::Run`] or [`Command::Sweep`]) whose
+    /// work items the workers partition.
+    pub inner: Box<Command>,
 }
 
 /// Arguments of `run hartree-fock`.
@@ -135,11 +168,15 @@ pub fn usage() -> &'static str {
 USAGE:
   mojo-hpc list
   mojo-hpc run (--all | <experiment>...) [--out DIR] [--threads N]
-                            [--format csv|json]
+                            [--format csv|json] [--shard I/N]
   mojo-hpc run hartree-fock --atoms N [--ngauss G] [--sample N] [--shards N]
                             [--out DIR] [--threads N]
   mojo-hpc sweep <workload> --sizes A,B,C [key=value ...] [--out DIR]
-                            [--threads N] [--format csv|json]
+                            [--threads N] [--format csv|json] [--shard I/N]
+                            [--preset-out FILE]
+  mojo-hpc sweep --preset FILE [--out DIR] [--threads N] [--format csv|json]
+                            [--shard I/N]
+  mojo-hpc shard (run|sweep) <run/sweep arguments> --workers N
   mojo-hpc diff <dir-a> <dir-b>
   mojo-hpc bench-diff <baseline.json|dir> <current.json|dir>
   mojo-hpc help
@@ -149,10 +186,20 @@ Experiment and sweep renderings go to stdout (byte-identical at every
 (default target/experiments); diagnostics go to stderr. `mojo-hpc list`
 names every workload with its tunable parameters and defaults; `--sizes`
 sweeps the workload's size parameter and `key=value` pins any other.
+`--preset-out` saves a resolved sweep configuration to a file; `--preset`
+replays it.
+
+SCALE-OUT (DESIGN.md \u{a7}10): `mojo-hpc shard run|sweep ... --workers N`
+spawns N worker subprocesses of this binary, partitions the command's work
+items (experiments for run, sweep points for sweep) deterministically, and
+merges the workers' partial JSON documents into output byte-identical to
+the single-process command. `--shard I/N` is the worker-side flag: it runs
+shard I and prints a JSON shard document (manifest + partial reports); it
+cannot be combined with `--format csv`.
 
 EXIT CODES:
   0  success / directories identical
-  1  difference found, or a validation failed
+  1  difference found, a validation failed, or a shard worker failed
   2  usage error or unreadable input"
 }
 
@@ -170,6 +217,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "run" => parse_run(&rest),
         "sweep" => parse_sweep(&rest),
+        "shard" => parse_shard(&rest),
         "diff" => {
             let [a, b] = two_paths("diff", &rest)?;
             Ok(Command::Diff { dir_a: a, dir_b: b })
@@ -224,6 +272,32 @@ fn parse_threads(value: &str) -> Result<usize, String> {
     Ok(threads)
 }
 
+/// Parses a `--shard` value, rejecting a repeated flag (two `--shard` flags
+/// would make the worker's coverage ambiguous — overlapping specs are a
+/// usage error).
+fn parse_shard_flag(current: &Option<ShardSpec>, value: &str) -> Result<ShardSpec, String> {
+    if current.is_some() {
+        return Err("--shard given more than once (shards must not overlap)".to_string());
+    }
+    ShardSpec::parse(value)
+}
+
+/// Rejects the `--shard I/N` + `--format csv` combination: a shard worker's
+/// stdout is always one JSON shard document.
+fn check_shard_format(
+    shard: &Option<ShardSpec>,
+    explicit_format: Option<OutputFormat>,
+) -> Result<OutputFormat, String> {
+    if shard.is_some() && explicit_format == Some(OutputFormat::Csv) {
+        return Err(
+            "--shard workers emit a JSON shard document; --format csv cannot be combined \
+             with --shard (the coordinator renders CSV after merging)"
+                .to_string(),
+        );
+    }
+    Ok(explicit_format.unwrap_or_default())
+}
+
 fn parse_run(rest: &[&str]) -> Result<Command, String> {
     if rest.first() == Some(&"hartree-fock") {
         return parse_run_hartree_fock(&rest[1..]);
@@ -232,25 +306,21 @@ fn parse_run(rest: &[&str]) -> Result<Command, String> {
     let mut all = false;
     let mut out = None;
     let mut threads = None;
-    let mut format = OutputFormat::default();
+    let mut format = None;
+    let mut shard = None;
     let mut args = rest.iter().copied();
     while let Some(arg) = args.next() {
         match arg {
             "--all" => all = true,
             "--out" => out = Some(PathBuf::from(flag_value("--out", &mut args)?)),
             "--threads" => threads = Some(parse_threads(flag_value("--threads", &mut args)?)?),
-            "--format" => format = OutputFormat::parse(flag_value("--format", &mut args)?)?,
+            "--format" => format = Some(OutputFormat::parse(flag_value("--format", &mut args)?)?),
+            "--shard" => shard = Some(parse_shard_flag(&shard, flag_value("--shard", &mut args)?)?),
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
-            id => ids.push(id.parse::<ExperimentId>().map_err(|e| {
-                format!(
-                    "{e}\nknown ids: {}",
-                    ExperimentId::ALL
-                        .iter()
-                        .map(|i| i.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            })?),
+            id => ids.push(
+                id.parse::<ExperimentId>()
+                    .map_err(|e| format!("{e}\nknown ids: {}", known_ids()))?,
+            ),
         }
     }
     if all {
@@ -261,11 +331,13 @@ fn parse_run(rest: &[&str]) -> Result<Command, String> {
     } else if ids.is_empty() {
         return Err("'run' needs --all or at least one experiment id".to_string());
     }
+    let format = check_shard_format(&shard, format)?;
     Ok(Command::Run(RunArgs {
         ids,
         out,
         threads,
         format,
+        shard,
     }))
 }
 
@@ -286,53 +358,125 @@ fn parse_sizes(value: &str) -> Result<Vec<u64>, String> {
     Ok(sizes)
 }
 
+/// The comma-separated list of every registered workload name.
+fn known_workloads() -> String {
+    workload::known_names()
+}
+
 fn parse_sweep(rest: &[&str]) -> Result<Command, String> {
-    let known = || {
-        workload::all()
-            .iter()
-            .map(|w| w.name())
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
-    let Some((&name, rest)) = rest.split_first() else {
-        return Err(format!(
-            "'sweep' needs a workload name (known: {})",
-            known()
-        ));
-    };
-    if name.starts_with('-') {
-        return Err(format!(
-            "'sweep' needs a workload name before flags (known: {})",
-            known()
-        ));
-    }
+    let mut name = None;
     let mut sizes = None;
     let mut params = Vec::new();
     let mut out = None;
     let mut threads = None;
-    let mut format = OutputFormat::default();
+    let mut format = None;
+    let mut shard = None;
+    let mut preset = None;
+    let mut preset_out = None;
     let mut args = rest.iter().copied();
     while let Some(arg) = args.next() {
         match arg {
             "--sizes" => sizes = Some(parse_sizes(flag_value("--sizes", &mut args)?)?),
             "--out" => out = Some(PathBuf::from(flag_value("--out", &mut args)?)),
             "--threads" => threads = Some(parse_threads(flag_value("--threads", &mut args)?)?),
-            "--format" => format = OutputFormat::parse(flag_value("--format", &mut args)?)?,
+            "--format" => format = Some(OutputFormat::parse(flag_value("--format", &mut args)?)?),
+            "--shard" => shard = Some(parse_shard_flag(&shard, flag_value("--shard", &mut args)?)?),
+            "--preset" => preset = Some(PathBuf::from(flag_value("--preset", &mut args)?)),
+            "--preset-out" => {
+                preset_out = Some(PathBuf::from(flag_value("--preset-out", &mut args)?))
+            }
             assignment if assignment.contains('=') && !assignment.starts_with('-') => {
                 params.push(assignment.to_string());
             }
-            other => return Err(format!("unknown 'sweep' argument '{other}'")),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown 'sweep' argument '{flag}'"))
+            }
+            workload_name => {
+                if name.is_some() {
+                    return Err(format!(
+                        "'sweep' takes one workload name, got a second: '{workload_name}'"
+                    ));
+                }
+                name = Some(workload_name.to_string());
+            }
         }
     }
-    let sizes = sizes.ok_or_else(|| "'sweep' needs --sizes A,B,C".to_string())?;
+    if preset.is_some() {
+        if name.is_some() || sizes.is_some() || !params.is_empty() {
+            return Err(
+                "--preset pins the workload, sizes and parameters; pass either \
+                 --preset FILE or <workload> --sizes A,B,C [key=value ...]"
+                    .to_string(),
+            );
+        }
+    } else {
+        if name.is_none() {
+            return Err(format!(
+                "'sweep' needs a workload name (known: {})",
+                known_workloads()
+            ));
+        }
+        if sizes.is_none() {
+            return Err("'sweep' needs --sizes A,B,C".to_string());
+        }
+    }
+    let format = check_shard_format(&shard, format)?;
     Ok(Command::Sweep(SweepArgs {
-        workload: name.to_string(),
+        workload: name,
         sizes,
         params,
         out,
         threads,
         format,
+        shard,
+        preset,
+        preset_out,
     }))
+}
+
+/// Parses `shard (run|sweep) … --workers N`: extract `--workers`, delegate
+/// the rest to the wrapped subcommand's parser, and reject combinations the
+/// coordinator owns (`--shard` on the inner command).
+fn parse_shard(rest: &[&str]) -> Result<Command, String> {
+    let mut workers = None;
+    let mut inner_args: Vec<&str> = Vec::new();
+    let mut args = rest.iter().copied();
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            workers = Some(parse_number::<u64>(
+                "--workers",
+                flag_value("--workers", &mut args)?,
+            )?);
+        } else {
+            inner_args.push(arg);
+        }
+    }
+    let workers = workers.ok_or_else(|| "'shard' needs --workers N".to_string())?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    let inner = match inner_args.split_first() {
+        Some((&"run", tail)) => parse_run(tail)?,
+        Some((&"sweep", tail)) => parse_sweep(tail)?,
+        _ => {
+            return Err(
+                "'shard' wraps 'run' or 'sweep' (e.g. shard run --all --workers 3)".to_string(),
+            )
+        }
+    };
+    match &inner {
+        Command::Run(args) if args.shard.is_some() => Err(
+            "--shard is assigned by the shard coordinator; pass --workers N instead".to_string(),
+        ),
+        Command::Sweep(args) if args.shard.is_some() => Err(
+            "--shard is assigned by the shard coordinator; pass --workers N instead".to_string(),
+        ),
+        Command::Run(_) | Command::Sweep(_) => Ok(Command::Shard(ShardArgs {
+            workers,
+            inner: Box::new(inner),
+        })),
+        _ => Err("'shard' wraps 'run' or 'sweep' (run hartree-fock shards internally)".to_string()),
+    }
 }
 
 fn parse_run_hartree_fock(rest: &[&str]) -> Result<Command, String> {
@@ -403,6 +547,7 @@ pub fn execute(command: &Command) -> i32 {
         Command::Run(args) => execute_run(args),
         Command::RunHartreeFock(args) => execute_hartree_fock(args),
         Command::Sweep(args) => execute_sweep(args),
+        Command::Shard(args) => execute_shard(args),
         Command::Diff { dir_a, dir_b } => execute_diff(dir_a, dir_b),
         Command::BenchDiff { .. } => unreachable!("bench-diff is dispatched by the binary"),
         Command::Help => {
@@ -471,21 +616,35 @@ fn write_report_files(report: &ExperimentReport, dir: &Path, format: OutputForma
     }
 }
 
+/// Prints `run` reports in the requested format and writes their files —
+/// the shared tail of the single-process and sharded `run` lanes, so both
+/// produce identical stdout and files.
+fn emit_run_reports(reports: &[ExperimentReport], format: OutputFormat, out_dir: &Path) -> i32 {
+    if format == OutputFormat::Json {
+        print!("{}", ExperimentReport::render_json_array(reports));
+    }
+    for report in reports {
+        if format == OutputFormat::Csv {
+            println!("{}", report.render());
+        }
+        if !write_report_files(report, out_dir, format) {
+            return 1;
+        }
+    }
+    0
+}
+
 fn execute_run(args: &RunArgs) -> i32 {
     apply_threads(args.threads);
+    if let Some(spec) = &args.shard {
+        return execute_run_shard_worker(args, spec);
+    }
     let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
     let started = std::time::Instant::now();
     let reports = run_experiments(&args.ids);
-    if args.format == OutputFormat::Json {
-        print!("{}", ExperimentReport::render_json_array(&reports));
-    }
-    for report in &reports {
-        if args.format == OutputFormat::Csv {
-            println!("{}", report.render());
-        }
-        if !write_report_files(report, &out_dir, args.format) {
-            return 1;
-        }
+    let code = emit_run_reports(&reports, args.format, &out_dir);
+    if code != 0 {
+        return code;
     }
     eprintln!(
         "regenerated {} experiment(s) in {:.3} s",
@@ -495,27 +654,84 @@ fn execute_run(args: &RunArgs) -> i32 {
     0
 }
 
+/// Worker mode of `run`: regenerate only this shard of the id list and
+/// print a shard document (manifest + partial reports) on stdout. No files
+/// are written — the coordinator renders and writes the merged output.
+fn execute_run_shard_worker(args: &RunArgs, spec: &ShardSpec) -> i32 {
+    let range = spec.range(args.ids.len());
+    let subset = &args.ids[range.clone()];
+    let reports = if subset.is_empty() {
+        Vec::new()
+    } else {
+        run_experiments(subset)
+    };
+    let doc = ShardDocument {
+        manifest: ShardManifest {
+            command: "run".to_string(),
+            shard: spec.index,
+            shards: spec.total,
+            start: range.start as u64,
+            count: subset.len() as u64,
+            total: args.ids.len() as u64,
+            items: subset.iter().map(|id| id.as_str().to_string()).collect(),
+            workload: None,
+            params: None,
+        },
+        reports,
+    };
+    print!("{}", doc.to_json_pretty());
+    0
+}
+
+/// Resolves a sweep's full configuration: from `--preset FILE` when given,
+/// otherwise from the workload name, `--sizes` and `key=value` overrides.
+/// Errors are usage errors (exit 2).
+fn resolve_sweep_spec(args: &SweepArgs) -> Result<SweepSpec, String> {
+    if let Some(path) = &args.preset {
+        return SweepSpec::load_preset(path);
+    }
+    let name = args
+        .workload
+        .as_deref()
+        .expect("parser requires a workload");
+    let engine = workload::find(name)
+        .ok_or_else(|| format!("unknown workload '{name}' (known: {})", known_workloads()))?;
+    let sizes = args.sizes.clone().expect("parser requires --sizes");
+    SweepSpec::new(engine, &args.params, sizes).map_err(|e| e.to_string())
+}
+
+/// Prints a sweep report in the requested format and writes its files —
+/// shared by the single-process and sharded sweep lanes.
+fn emit_sweep_report(report: &ExperimentReport, format: OutputFormat, out_dir: &Path) -> i32 {
+    match format {
+        OutputFormat::Csv => println!("{}", report.render()),
+        OutputFormat::Json => print!("{}", report.to_json_pretty()),
+    }
+    if !write_report_files(report, out_dir, format) {
+        return 1;
+    }
+    0
+}
+
 fn execute_sweep(args: &SweepArgs) -> i32 {
     apply_threads(args.threads);
-    let Some(engine) = workload::find(&args.workload) else {
-        eprintln!(
-            "error: unknown workload '{}' (known: {})",
-            args.workload,
-            workload::all()
-                .iter()
-                .map(|w| w.name())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-        return 2;
-    };
-    let spec = match SweepSpec::new(engine, &args.params, args.sizes.clone()) {
+    let spec = match resolve_sweep_spec(args) {
         Ok(spec) => spec,
         Err(err) => {
             eprintln!("error: {err}");
             return 2;
         }
     };
+    if let Some(path) = &args.preset_out {
+        if let Err(err) = spec.write_preset(path) {
+            eprintln!("failed to write preset {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("  [preset] {}", path.display());
+    }
+    if let Some(shard_spec) = &args.shard {
+        return execute_sweep_shard_worker(&spec, shard_spec);
+    }
     let started = std::time::Instant::now();
     let report = match run_sweep(&spec) {
         Ok(report) => report,
@@ -524,18 +740,187 @@ fn execute_sweep(args: &SweepArgs) -> i32 {
             return 1;
         }
     };
-    match args.format {
-        OutputFormat::Csv => println!("{}", report.render()),
-        OutputFormat::Json => print!("{}", report.to_json_pretty()),
-    }
     let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
-    if !write_report_files(&report, &out_dir, args.format) {
-        return 1;
+    let code = emit_sweep_report(&report, args.format, &out_dir);
+    if code != 0 {
+        return code;
     }
     eprintln!(
         "swept {} over {} size(s) in {:.3} s",
-        engine.name(),
-        args.sizes.len(),
+        spec.workload.name(),
+        spec.sizes.len(),
+        started.elapsed().as_secs_f64()
+    );
+    0
+}
+
+/// Worker mode of `sweep`: run only this shard of the sweep points and
+/// print a shard document. The manifest pins the workload name and the base
+/// parameter encoding so the coordinator can verify every worker ran the
+/// same configuration.
+fn execute_sweep_shard_worker(spec: &SweepSpec, shard_spec: &ShardSpec) -> i32 {
+    let range = shard_spec.range(spec.sizes.len());
+    let sizes = spec.sizes[range.clone()].to_vec();
+    let reports = if sizes.is_empty() {
+        Vec::new()
+    } else {
+        let sub = SweepSpec {
+            workload: spec.workload,
+            base: spec.base.clone(),
+            sizes: sizes.clone(),
+        };
+        match run_sweep(&sub) {
+            Ok(report) => vec![report],
+            Err(err) => {
+                eprintln!("sweep failed: {err}");
+                return 1;
+            }
+        }
+    };
+    let doc = ShardDocument {
+        manifest: ShardManifest {
+            command: "sweep".to_string(),
+            shard: shard_spec.index,
+            shards: shard_spec.total,
+            start: range.start as u64,
+            count: sizes.len() as u64,
+            total: spec.sizes.len() as u64,
+            items: sizes.iter().map(|s| s.to_string()).collect(),
+            workload: Some(spec.workload.name().to_string()),
+            params: Some(spec.base.encode()),
+        },
+        reports,
+    };
+    print!("{}", doc.to_json_pretty());
+    0
+}
+
+/// The `shard` coordinator: spawn one worker subprocess per shard, merge
+/// their documents, and render the merged output exactly as the wrapped
+/// single-process command would.
+fn execute_shard(args: &ShardArgs) -> i32 {
+    match args.inner.as_ref() {
+        Command::Run(run_args) => execute_shard_run(args.workers, run_args),
+        Command::Sweep(sweep_args) => execute_shard_sweep(args.workers, sweep_args),
+        _ => unreachable!("the parser only wraps run and sweep in shard"),
+    }
+}
+
+fn execute_shard_run(workers: u64, args: &RunArgs) -> i32 {
+    let started = std::time::Instant::now();
+    let worker_args: Vec<Vec<String>> = (0..workers)
+        .map(|index| {
+            let mut argv = vec!["run".to_string()];
+            argv.extend(args.ids.iter().map(|id| id.as_str().to_string()));
+            argv.push("--shard".to_string());
+            argv.push(format!("{index}/{workers}"));
+            if let Some(threads) = args.threads {
+                argv.push("--threads".to_string());
+                argv.push(threads.to_string());
+            }
+            argv
+        })
+        .collect();
+    let docs = match shard::run_workers(&worker_args) {
+        Ok(docs) => docs,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return 1;
+        }
+    };
+    let expected: Vec<String> = args.ids.iter().map(|id| id.as_str().to_string()).collect();
+    let reports = match shard::merge_run(&docs, &expected) {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("merge failed: {err}");
+            return 1;
+        }
+    };
+    let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
+    let code = emit_run_reports(&reports, args.format, &out_dir);
+    if code != 0 {
+        return code;
+    }
+    eprintln!(
+        "merged {workers} shard(s) covering {} experiment(s) in {:.3} s",
+        reports.len(),
+        started.elapsed().as_secs_f64()
+    );
+    0
+}
+
+fn execute_shard_sweep(workers: u64, args: &SweepArgs) -> i32 {
+    let started = std::time::Instant::now();
+    let spec = match resolve_sweep_spec(args) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return 2;
+        }
+    };
+    if let Some(path) = &args.preset_out {
+        if let Err(err) = spec.write_preset(path) {
+            eprintln!("failed to write preset {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("  [preset] {}", path.display());
+    }
+    // Pin the resolved configuration in a preset file every worker loads, so
+    // all workers provably share one configuration. It lives under the run's
+    // own output directory, not the shared temp dir — a predictable path in
+    // a world-writable directory would be open to symlink/rewrite games by
+    // other local users.
+    let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
+    let preset_path = out_dir.join(format!(
+        ".mojo-hpc-shard-preset-{}.json",
+        std::process::id()
+    ));
+    if let Err(err) = spec.write_preset(&preset_path) {
+        eprintln!(
+            "failed to write the worker preset {}: {err}",
+            preset_path.display()
+        );
+        return 1;
+    }
+    let worker_args: Vec<Vec<String>> = (0..workers)
+        .map(|index| {
+            let mut argv = vec![
+                "sweep".to_string(),
+                "--preset".to_string(),
+                preset_path.display().to_string(),
+                "--shard".to_string(),
+                format!("{index}/{workers}"),
+            ];
+            if let Some(threads) = args.threads {
+                argv.push("--threads".to_string());
+                argv.push(threads.to_string());
+            }
+            argv
+        })
+        .collect();
+    let docs = shard::run_workers(&worker_args);
+    std::fs::remove_file(&preset_path).ok();
+    let docs = match docs {
+        Ok(docs) => docs,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return 1;
+        }
+    };
+    let report = match shard::merge_sweep(&spec, &docs) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("merge failed: {err}");
+            return 1;
+        }
+    };
+    let code = emit_sweep_report(&report, args.format, &out_dir);
+    if code != 0 {
+        return code;
+    }
+    eprintln!(
+        "merged {workers} shard(s) covering {} sweep point(s) in {:.3} s",
+        spec.sizes.len(),
         started.elapsed().as_secs_f64()
     );
     0
@@ -616,14 +1001,20 @@ fn execute_hartree_fock(args: &HartreeFockArgs) -> i32 {
     }
 }
 
-/// Byte-compares the `.csv` files of two directories, naming the first
-/// differing row of each mismatched file.
+/// Byte-compares the `.csv` and `.json` report files of two directories,
+/// naming the first differing row (CSV) or line (JSON) of each mismatched
+/// file.
 fn execute_diff(dir_a: &Path, dir_b: &Path) -> i32 {
     let list = |dir: &Path| -> Result<Vec<String>, String> {
         let mut names: Vec<String> = std::fs::read_dir(dir)
             .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
             .filter_map(|entry| entry.ok())
-            .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "csv"))
+            .filter(|entry| {
+                entry
+                    .path()
+                    .extension()
+                    .is_some_and(|ext| ext == "csv" || ext == "json")
+            })
             .filter_map(|entry| entry.file_name().into_string().ok())
             .collect();
         names.sort();
@@ -663,6 +1054,13 @@ fn execute_diff(dir_a: &Path, dir_b: &Path) -> i32 {
             continue;
         }
         differences += 1;
+        // CSV rows and pretty-JSON lines are both line-shaped, so the first
+        // differing line names the divergence in either lane.
+        let unit = if name.ends_with(".json") {
+            "line"
+        } else {
+            "row"
+        };
         let mut lines_a = text_a.lines();
         let mut lines_b = text_b.lines();
         let mut row = 0u32;
@@ -674,7 +1072,7 @@ fn execute_diff(dir_a: &Path, dir_b: &Path) -> i32 {
                 break;
             }
             if line_a != line_b {
-                println!("{name}: row {row} differs");
+                println!("{name}: {unit} {row} differs");
                 println!("  a: {}", line_a.unwrap_or("<missing>"));
                 println!("  b: {}", line_b.unwrap_or("<missing>"));
                 break;
@@ -685,7 +1083,7 @@ fn execute_diff(dir_a: &Path, dir_b: &Path) -> i32 {
 
     if differences == 0 {
         eprintln!(
-            "{} CSV file(s) identical",
+            "{} report file(s) identical",
             names_a.iter().filter(|n| names_b.contains(n)).count()
         );
         0
@@ -743,11 +1141,13 @@ mod tests {
     fn parses_sweep_and_format_flags() {
         match parse_line("sweep stencil --sizes 64,128,256 precision=fp32 --format json").unwrap() {
             Command::Sweep(args) => {
-                assert_eq!(args.workload, "stencil");
-                assert_eq!(args.sizes, vec![64, 128, 256]);
+                assert_eq!(args.workload.as_deref(), Some("stencil"));
+                assert_eq!(args.sizes, Some(vec![64, 128, 256]));
                 assert_eq!(args.params, vec!["precision=fp32".to_string()]);
                 assert_eq!(args.format, OutputFormat::Json);
                 assert_eq!(args.threads, None);
+                assert_eq!(args.shard, None);
+                assert_eq!(args.preset, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -770,7 +1170,96 @@ mod tests {
         assert!(parse_line("sweep stencil --sizes 64,x").is_err());
         assert!(parse_line("sweep stencil --sizes 64 --frobnicate").is_err());
         assert!(parse_line("sweep --sizes 64").is_err());
+        assert!(parse_line("sweep stencil other --sizes 64").is_err());
         assert!(parse_line("run --all --format yaml").is_err());
+    }
+
+    #[test]
+    fn parses_shard_worker_flags() {
+        match parse_line("run --all --format json --shard 1/3").unwrap() {
+            Command::Run(args) => {
+                assert_eq!(args.shard, Some(ShardSpec { index: 1, total: 3 }));
+                assert_eq!(args.format, OutputFormat::Json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // No explicit format is fine — the worker always emits JSON.
+        assert!(parse_line("run --all --shard 0/2").is_ok());
+        match parse_line("sweep stencil --sizes 16,24 --shard 0/2").unwrap() {
+            Command::Sweep(args) => {
+                assert_eq!(args.shard, Some(ShardSpec { index: 0, total: 2 }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Out-of-range, malformed, overlapping (repeated) and csv-conflicting
+        // shard specs are usage errors.
+        assert!(parse_line("run --all --shard 3/3").is_err());
+        assert!(parse_line("run --all --shard 5/3").is_err());
+        assert!(parse_line("run --all --shard 1/0").is_err());
+        assert!(parse_line("run --all --shard nope").is_err());
+        assert!(parse_line("run --all --shard 0/3 --shard 1/3").is_err());
+        assert!(parse_line("run --all --format csv --shard 0/3").is_err());
+        assert!(parse_line("sweep stencil --sizes 16 --format csv --shard 0/2").is_err());
+    }
+
+    #[test]
+    fn parses_the_shard_coordinator() {
+        match parse_line("shard run --all --workers 3 --format json").unwrap() {
+            Command::Shard(args) => {
+                assert_eq!(args.workers, 3);
+                match args.inner.as_ref() {
+                    Command::Run(run) => {
+                        assert_eq!(run.ids.len(), ExperimentId::ALL.len());
+                        assert_eq!(run.format, OutputFormat::Json);
+                        assert_eq!(run.shard, None);
+                    }
+                    other => panic!("unexpected inner {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_line("shard sweep stencil --sizes 16,24 --workers 2").unwrap() {
+            Command::Shard(args) => {
+                assert_eq!(args.workers, 2);
+                assert!(matches!(args.inner.as_ref(), Command::Sweep(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --workers may appear anywhere in the line.
+        assert!(parse_line("shard run --workers 2 --all").is_ok());
+        assert!(parse_line("shard run --all").is_err(), "missing --workers");
+        assert!(parse_line("shard run --all --workers 0").is_err());
+        assert!(parse_line("shard run --all --workers x").is_err());
+        assert!(parse_line("shard --workers 2").is_err());
+        assert!(parse_line("shard diff a b --workers 2").is_err());
+        assert!(parse_line("shard run hartree-fock --atoms 8 --workers 2").is_err());
+        // The coordinator owns shard assignment.
+        assert!(parse_line("shard run --all --workers 2 --shard 0/2").is_err());
+    }
+
+    #[test]
+    fn parses_preset_flags_and_their_conflicts() {
+        match parse_line("sweep --preset cfg.json --format json").unwrap() {
+            Command::Sweep(args) => {
+                assert_eq!(args.preset, Some(PathBuf::from("cfg.json")));
+                assert_eq!(args.workload, None);
+                assert_eq!(args.sizes, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_line("sweep stencil --sizes 16 --preset-out cfg.json").unwrap() {
+            Command::Sweep(args) => {
+                assert_eq!(args.preset_out, Some(PathBuf::from("cfg.json")));
+                assert_eq!(args.preset, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --preset pins everything: combining it with inline configuration
+        // is ambiguous and rejected.
+        assert!(parse_line("sweep stencil --preset cfg.json").is_err());
+        assert!(parse_line("sweep --preset cfg.json --sizes 16").is_err());
+        assert!(parse_line("sweep --preset cfg.json precision=fp32").is_err());
+        assert!(parse_line("sweep --preset").is_err());
     }
 
     #[test]

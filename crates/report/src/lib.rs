@@ -29,6 +29,7 @@ pub mod prelude;
 pub mod registry;
 pub mod render;
 pub mod report;
+pub mod shard;
 pub mod sweep;
 
 pub use registry::{
@@ -36,4 +37,5 @@ pub use registry::{
     EXPERIMENTS,
 };
 pub use report::ExperimentReport;
+pub use shard::{ShardDocument, ShardManifest, ShardSpec};
 pub use sweep::{run_sweep, SweepSpec};

@@ -283,6 +283,16 @@ impl FromStr for ExperimentId {
     }
 }
 
+/// The comma-separated list of every known experiment id, for usage errors
+/// and coordinator diagnostics.
+pub fn known_ids() -> String {
+    EXPERIMENTS
+        .iter()
+        .map(|spec| spec.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Runs one experiment.
 pub fn run_experiment(id: ExperimentId) -> ExperimentReport {
     (id.spec().run)()

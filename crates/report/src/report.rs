@@ -4,6 +4,42 @@ use hpc_metrics::output::{self, CsvTable};
 use serde::value::Value;
 use std::path::PathBuf;
 
+/// Looks up a field of a JSON object value.
+pub(crate) fn json_field<'a>(value: &'a Value, key: &str) -> Result<&'a Value, String> {
+    match value {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}'")),
+        _ => Err(format!("expected an object carrying field '{key}'")),
+    }
+}
+
+/// Extracts a JSON string value.
+pub(crate) fn json_str(value: &Value) -> Result<&str, String> {
+    match value {
+        Value::Str(s) => Ok(s),
+        other => Err(format!("expected a string, got {other:?}")),
+    }
+}
+
+/// Extracts a non-negative JSON integer value.
+pub(crate) fn json_u64(value: &Value) -> Result<u64, String> {
+    match value {
+        Value::U64(n) => Ok(*n),
+        other => Err(format!("expected a non-negative integer, got {other:?}")),
+    }
+}
+
+/// Extracts a JSON array value.
+pub(crate) fn json_array(value: &Value) -> Result<&[Value], String> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(format!("expected an array, got {other:?}")),
+    }
+}
+
 /// The result of regenerating one table or figure.
 #[derive(Debug, Clone)]
 pub struct ExperimentReport {
@@ -104,6 +140,40 @@ impl ExperimentReport {
         ])
     }
 
+    /// Parses a report back from its [`ExperimentReport::to_json_value`]
+    /// schema.
+    ///
+    /// The schema carries only strings, so the round trip is lossless:
+    /// re-serialising the parsed report reproduces the original JSON byte
+    /// for byte. The shard merge lane (`crate::shard`) relies on this to
+    /// reassemble worker output into single-process-identical reports.
+    pub fn from_json_value(value: &Value) -> Result<ExperimentReport, String> {
+        let cell_strings = |value: &Value| -> Result<Vec<String>, String> {
+            json_array(value)?
+                .iter()
+                .map(|cell| Ok(json_str(cell)?.to_string()))
+                .collect()
+        };
+        let tables = json_array(json_field(value, "tables")?)?
+            .iter()
+            .map(|table| {
+                let name = json_str(json_field(table, "name")?)?.to_string();
+                let header = cell_strings(json_field(table, "header")?)?;
+                let rows = json_array(json_field(table, "rows")?)?
+                    .iter()
+                    .map(cell_strings)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((name, CsvTable { header, rows }))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ExperimentReport {
+            id: json_str(json_field(value, "id")?)?.to_string(),
+            title: json_str(json_field(value, "title")?)?.to_string(),
+            text: json_str(json_field(value, "text")?)?.to_string(),
+            tables,
+        })
+    }
+
     /// The report as pretty-printed JSON text (with a trailing newline, so
     /// the emitted files and stdout stream are valid line-terminated text).
     pub fn to_json_pretty(&self) -> String {
@@ -166,6 +236,30 @@ mod tests {
         let array = ExperimentReport::render_json_array(&[r.clone(), r]);
         assert!(array.starts_with('['));
         assert_eq!(array.matches("\"id\": \"table9\"").count(), 2);
+    }
+
+    #[test]
+    fn json_value_round_trip_is_byte_lossless() {
+        let mut r = ExperimentReport::new("fig9", "Example — with \"quotes\", commas\nand lines");
+        r.push_line("line 1");
+        r.push_line("line 2, with commas");
+        let mut csv = CsvTable::new(["a", "b"]);
+        csv.push_row(["1", "x,y"]);
+        csv.push_row(["2", "say \"hi\""]);
+        r.push_table("data", csv);
+        let parsed = ExperimentReport::from_json_value(&r.to_json_value()).unwrap();
+        assert_eq!(parsed.id, r.id);
+        assert_eq!(parsed.title, r.title);
+        assert_eq!(parsed.text, r.text);
+        assert_eq!(parsed.tables, r.tables);
+        assert_eq!(parsed.to_json_pretty(), r.to_json_pretty());
+        // And through the JSON text itself, the path shard merging takes.
+        let reparsed: Value = serde_json::from_str(&r.to_json_pretty()).unwrap();
+        let back = ExperimentReport::from_json_value(&reparsed).unwrap();
+        assert_eq!(back.to_json_pretty(), r.to_json_pretty());
+        // Malformed trees are rejected with a named field.
+        let err = ExperimentReport::from_json_value(&Value::Object(vec![])).unwrap_err();
+        assert!(err.contains("tables"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! and execution live in [`experiment_report::cli`], except `bench-diff`,
 //! which is dispatched here because the bench crate sits above the report
 //! crate in the dependency graph.
+//!
+//! The `shard` coordinator re-invokes *this* binary (via
+//! `std::env::current_exe`) as its worker subprocesses, so the worker-facing
+//! `--shard I/N` flags of `run` and `sweep` always speak the same partition
+//! and document schema as the coordinator that spawned them (DESIGN.md §10).
 
 use experiment_report::cli::{self, Command};
 use std::path::Path;
