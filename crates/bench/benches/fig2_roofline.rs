@@ -7,6 +7,7 @@ use science_kernels::stencil7::{self, StencilConfig};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("fig2");
     // The roofline points come from cost-model evaluations; measure one.
     group.bench_function("stencil_cost_and_timing", |b| {
@@ -14,6 +15,7 @@ fn bench(c: &mut Criterion) {
         let config = StencilConfig::paper(512, Precision::Fp64);
         b.iter(|| stencil7::run(&platform, &config).unwrap().seconds())
     });
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

@@ -8,6 +8,7 @@ use science_kernels::workload::{self, ParamValue};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("fig3_stencil");
     // Functional execution of the portable stencil on the workload's bench
     // preset sizes: the simulated-kernel work `cargo bench` measures on the
@@ -26,6 +27,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| stencil7::run(&platform, &config).unwrap())
         });
     }
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

@@ -8,6 +8,7 @@ use vendor_models::kernel_class::StreamOp;
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("fig4_babelstream");
     // Functional execution of each portable kernel at the workload's bench
     // preset size (validation is auto-enabled at this size), driven through
@@ -33,6 +34,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| babelstream::run(&platform, op, &config).unwrap())
         });
     }
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

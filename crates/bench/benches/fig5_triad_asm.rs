@@ -5,8 +5,10 @@ use experiment_report::experiments::fig5;
 use experiment_report::ExperimentId;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("fig5");
     group.bench_function("instruction_mix_comparison", |b| b.iter(fig5::comparison));
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

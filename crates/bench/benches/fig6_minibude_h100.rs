@@ -7,6 +7,7 @@ use science_kernels::workload::{self, ParamValue};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("fig6_minibude");
     // Functional execution of the portable fasten kernel at the workload's
     // bench preset PPWI values, on a reduced deck so the measured work is
@@ -30,6 +31,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| minibude::run(&platform, &config).unwrap())
         });
     }
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

@@ -6,6 +6,7 @@ use science_kernels::minibude::{self, MiniBudeConfig};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("fig7_minibude");
     // The HIP-style baseline's functional execution path.
     for wg in [8u32, 64] {
@@ -18,6 +19,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| minibude::run(&platform, &config).unwrap())
         });
     }
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

@@ -5,6 +5,7 @@ use experiment_report::ExperimentId;
 use gpu_spec::{presets, Precision};
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("table1");
     group.bench_function("roofline_queries", |b| {
         let specs = presets::all_presets();
@@ -15,6 +16,7 @@ fn bench(c: &mut Criterion) {
                 .sum::<f64>()
         })
     });
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

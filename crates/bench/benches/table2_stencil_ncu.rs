@@ -8,6 +8,7 @@ use science_kernels::stencil7::{self, StencilConfig};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("table2");
     group.bench_function("derive_profile_report", |b| {
         let spec = presets::h100_nvl();
@@ -16,6 +17,7 @@ fn bench(c: &mut Criterion) {
         let run = stencil7::run(&platform, &config).unwrap();
         b.iter(|| ProfileReport::derive(&spec, &run.cost, &run.profile, &run.timing))
     });
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

@@ -8,6 +8,7 @@ use vendor_models::kernel_class::StreamOp;
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("table3");
     // The Dot reduction is the kernel Table 3 singles out; measure its
     // cooperative (shared-memory + barrier) execution path.
@@ -21,6 +22,7 @@ fn bench(c: &mut Criterion) {
         let config = BabelStreamConfig::validation(1 << 20, Precision::Fp64);
         b.iter(|| babelstream::run(&platform, StreamOp::Dot, &config).unwrap())
     });
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

@@ -7,6 +7,7 @@ use science_kernels::hartree_fock::{self, HartreeFockConfig};
 use vendor_models::Platform;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("table4_hartree_fock");
     // Functional Fock build (atomics included) on a small helium lattice.
     group.bench_function("portable_fock_build_24_atoms", |b| {
@@ -20,6 +21,7 @@ fn bench(c: &mut Criterion) {
         let system = cache::helium_system(&config);
         b.iter(|| hartree_fock::surviving_quartets(&system.schwarz, config.screening_tol))
     });
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

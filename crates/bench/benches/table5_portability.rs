@@ -5,6 +5,7 @@ use experiment_report::experiments::table5;
 use experiment_report::ExperimentId;
 
 fn bench(c: &mut Criterion) {
+    let pool_before = bench::pool_snapshot();
     let mut group = c.benchmark_group("table5");
     group.sample_size(10);
     group.bench_function("phi_over_all_applications", |b| {
@@ -15,6 +16,7 @@ fn bench(c: &mut Criterion) {
                 .sum::<f64>()
         })
     });
+    bench::record_pool_counters(&mut group, &pool_before);
     group.finish();
 }
 

@@ -38,6 +38,16 @@ pub struct BenchMeasurement {
     pub throughput: Option<ThroughputRecord>,
 }
 
+/// One named telemetry counter of a group record (`"counters"` in the
+/// record) — the bench targets use these for buffer-pool statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterRecord {
+    /// Counter name, e.g. `pool_hits`.
+    pub name: String,
+    /// Counter value over the whole group run.
+    pub value: u64,
+}
+
 /// One `target/bench/<group>.json` record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchGroup {
@@ -45,6 +55,9 @@ pub struct BenchGroup {
     pub group: String,
     /// Measurements of every benchmark in the group.
     pub benchmarks: Vec<BenchMeasurement>,
+    /// Telemetry counters of the group run (`None` for records written
+    /// before the key existed).
+    pub counters: Option<Vec<CounterRecord>>,
 }
 
 /// Mean-time delta of one benchmark present in both runs.
@@ -159,6 +172,37 @@ pub fn diff(baseline: &[BenchGroup], current: &[BenchGroup]) -> BenchDiff {
     result
 }
 
+/// One benchmark whose mean regressed beyond a tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Relative change of the mean, `(b - a) / a`.
+    pub change: f64,
+}
+
+/// Benchmarks whose mean slowed down by more than `max_regression`
+/// (a fraction: `0.10` tolerates up to +10%). Only benchmarks present in
+/// both runs count; added/removed entries carry no delta to gate on.
+pub fn regressions_beyond(diff: &BenchDiff, max_regression: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for group in &diff.groups {
+        for bench in &group.benchmarks {
+            let change = bench.relative_change();
+            if change > max_regression {
+                out.push(Regression {
+                    group: group.group.clone(),
+                    id: bench.id.clone(),
+                    change,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Renders a comparison as a human-readable report.
 pub fn render(diff: &BenchDiff) -> String {
     let mut out = String::new();
@@ -210,6 +254,7 @@ mod tests {
                     throughput: None,
                 })
                 .collect(),
+            counters: None,
         }
     }
 
@@ -249,10 +294,54 @@ mod tests {
         assert_eq!(throughput.kind, "bytes");
         assert_eq!(throughput.amount, 8388608);
         assert!(record.benchmarks[1].throughput.is_none());
+        // A record written before the counters key existed parses to None.
+        assert!(record.counters.is_none());
         // And the parsed record serialises back without loss of structure.
         let rendered = serde_json::to_string(&record).unwrap();
         let reparsed = parse_group(&rendered).unwrap();
         assert_eq!(reparsed, record);
+    }
+
+    #[test]
+    fn counters_parse_when_present() {
+        let json = r#"{
+  "group": "g",
+  "benchmarks": [],
+  "counters": [
+    { "name": "pool_hits", "value": 308 },
+    { "name": "pool_misses", "value": 4 }
+  ]
+}"#;
+        let record = parse_group(json).unwrap();
+        let counters = record.counters.as_ref().unwrap();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[0].name, "pool_hits");
+        assert_eq!(counters[0].value, 308);
+        let rendered = serde_json::to_string(&record).unwrap();
+        assert_eq!(parse_group(&rendered).unwrap(), record);
+    }
+
+    #[test]
+    fn regression_gate_flags_only_slowdowns_beyond_the_tolerance() {
+        let baseline = vec![group(
+            "g",
+            &[("fast", 100.0), ("slow", 100.0), ("ok", 100.0)],
+        )];
+        let current = vec![group(
+            "g",
+            &[("fast", 80.0), ("slow", 125.0), ("ok", 105.0)],
+        )];
+        let d = diff(&baseline, &current);
+        let flagged = regressions_beyond(&d, 0.10);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].id, "slow");
+        assert!((flagged[0].change - 0.25).abs() < 1e-12);
+        // A looser tolerance passes everything; a zero tolerance flags every
+        // slowdown but never a speedup.
+        assert!(regressions_beyond(&d, 0.30).is_empty());
+        let all = regressions_beyond(&d, 0.0);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|r| r.id != "fast"));
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //!       "throughput": { "kind": "bytes", "amount": 8388608,
 //!                       "per_sec": 6794772480.0 }
 //!     }
+//!   ],
+//!   "counters": [
+//!     { "name": "pool_checkouts", "value": 312 },
+//!     { "name": "pool_hits", "value": 308 },
+//!     { "name": "pool_misses", "value": 4 },
+//!     { "name": "pool_recycled_bytes", "value": 50331648 },
+//!     { "name": "pool_fresh_bytes", "value": 655360 }
 //!   ]
 //! }
 //! ```
@@ -36,14 +43,39 @@
 //! * `throughput` — present when the group declared one via
 //!   `criterion::Throughput`: `kind` is `"elements"` or `"bytes"`, `amount`
 //!   is the declared work per iteration, `per_sec` is `amount / mean`;
-//!   `null` otherwise.
+//!   `null` otherwise;
+//! * `counters` — buffer-pool telemetry over the whole group, recorded by
+//!   [`record_pool_counters`] as the delta of [`gpu_sim::pool`]'s process
+//!   counters across the target's runs (records predating the key simply
+//!   lack it; the diff lane treats it as absent).
 //!
 //! CI runs `cargo bench -- --smoke` (single-sample sweep) and uploads the
 //! resulting `target/bench/*.json` as the build's bench artifact.
 
 pub mod diff;
 
+use criterion::BenchmarkGroup;
 use experiment_report::{run_experiment, ExperimentId};
+use gpu_sim::PoolStats;
+
+/// Snapshots the process-wide buffer-pool counters; pair with
+/// [`record_pool_counters`] around a bench group's runs.
+pub fn pool_snapshot() -> PoolStats {
+    gpu_sim::pool::stats()
+}
+
+/// Records the buffer-pool activity since `before` on `group` as the
+/// `pool_*` counters of its JSON record (schema in the crate docs). Call
+/// right before `group.finish()` so the delta covers every benchmark of the
+/// group, warm-up and timed runs alike.
+pub fn record_pool_counters(group: &mut BenchmarkGroup<'_>, before: &PoolStats) {
+    let delta = gpu_sim::pool::stats().since(before);
+    group.counter("pool_checkouts", delta.checkouts);
+    group.counter("pool_hits", delta.hits);
+    group.counter("pool_misses", delta.misses);
+    group.counter("pool_recycled_bytes", delta.recycled_bytes);
+    group.counter("pool_fresh_bytes", delta.fresh_bytes);
+}
 
 /// Regenerates one experiment, prints it, and writes its CSV files.
 pub fn reproduce(id: ExperimentId) {

@@ -15,9 +15,9 @@
 //! lives in the kernel's `ThreadState` associated type, playing the role of
 //! registers.
 
-use crate::arena;
 use crate::dim::{Dim3, LaunchConfig};
 use crate::exec::ThreadCtx;
+use crate::pool::PooledVec;
 use rayon::prelude::*;
 
 /// What a thread wants to do after finishing a phase.
@@ -37,8 +37,8 @@ pub enum PhaseOutcome {
 /// source. Threads that are already done are not called again.
 pub trait CoopKernel: Sync {
     /// Element type of the block's shared-memory scratch array. (`'static` so
-    /// the engine can recycle scratch storage through the thread-local
-    /// [`crate::arena`].)
+    /// the engine can recycle scratch storage through the process-wide
+    /// [`crate::pool`].)
     type Shared: Copy + Default + Send + Sync + 'static;
     /// Thread-private state that persists across phases ("registers").
     type ThreadState: Default + Send + 'static;
@@ -67,9 +67,11 @@ impl CoopLaunch {
     /// Runs `kernel` over the launch configuration. Contiguous chunks of
     /// blocks execute in parallel on the persistent pool; threads within a
     /// block follow the bulk-synchronous schedule described in the module
-    /// documentation. The shared/state/flag scratch buffers of a chunk come
-    /// from the worker's thread-local [`crate::arena`] and are reused across
-    /// every block of the chunk instead of being reallocated per block.
+    /// documentation. The shared/state/flag scratch buffers of a chunk are
+    /// [`PooledVec`]s checked out of the process-wide size-classed pool
+    /// (replacing PR 2's `TypeId`-keyed thread-local arena lookup on this
+    /// path): each chunk reuses them across every block it runs, and warm
+    /// launches reuse the shelved blocks of earlier launches.
     pub fn run<K: CoopKernel>(cfg: &LaunchConfig, kernel: &K) {
         let grid = cfg.grid;
         let block = cfg.block;
@@ -80,32 +82,29 @@ impl CoopLaunch {
         let num_chunks = num_blocks.div_ceil(chunk);
 
         (0..num_chunks).into_par_iter().for_each(|chunk_index| {
-            arena::with_scratch(|shared: &mut Vec<K::Shared>| {
-                arena::with_scratch(|states: &mut Vec<K::ThreadState>| {
-                    arena::with_scratch(|done: &mut Vec<bool>| {
-                        let start = chunk_index * chunk;
-                        let end = (start + chunk).min(num_blocks);
-                        for block_linear in start..end {
-                            let (bx, by, bz) = grid.delinearize(block_linear);
-                            shared.clear();
-                            shared.resize(shared_len, K::Shared::default());
-                            states.clear();
-                            states.resize_with(threads_per_block, K::ThreadState::default);
-                            done.clear();
-                            done.resize(threads_per_block, false);
-                            Self::run_block(
-                                kernel,
-                                Dim3::new(bx, by, bz),
-                                block,
-                                grid,
-                                shared,
-                                states,
-                                done,
-                            );
-                        }
-                    })
-                })
-            });
+            let mut shared: PooledVec<K::Shared> = PooledVec::with_capacity(shared_len);
+            let mut states: PooledVec<K::ThreadState> = PooledVec::new();
+            let mut done: PooledVec<bool> = PooledVec::with_capacity(threads_per_block);
+            let start = chunk_index * chunk;
+            let end = (start + chunk).min(num_blocks);
+            for block_linear in start..end {
+                let (bx, by, bz) = grid.delinearize(block_linear);
+                shared.clear();
+                shared.resize(shared_len, K::Shared::default());
+                states.clear();
+                states.resize_with(threads_per_block, K::ThreadState::default);
+                done.clear();
+                done.resize(threads_per_block, false);
+                Self::run_block(
+                    kernel,
+                    Dim3::new(bx, by, bz),
+                    block,
+                    grid,
+                    &mut shared,
+                    &mut states,
+                    &mut done,
+                );
+            }
         });
     }
 

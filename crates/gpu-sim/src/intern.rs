@@ -1,0 +1,215 @@
+//! Interned strings for the steady-state hot path.
+//!
+//! Every workload run labels its results — backend, device, kernel,
+//! verification summary — and those labels are drawn from a small, stable set
+//! ("Mojo", "NVIDIA H100", "laplacian", `passed(max_abs_err=…)` for a
+//! deterministic error…). Carrying them as `String` puts a heap allocation on
+//! every run; [`IStr`] instead shares one `Arc<str>` per distinct text
+//! through a process-wide interner. The first occurrence allocates; every
+//! later occurrence is a hash lookup plus an `Arc` clone — zero allocator
+//! traffic, which is what lets repeated launches satisfy the
+//! `alloc_steady_state` contract (DESIGN.md §11).
+//!
+//! [`IStr`] deliberately serialises exactly like `String` (a JSON string), so
+//! swapping it into report types leaves every committed golden byte-identical.
+
+use serde::value::{Error, Value};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt::{self, Write as _};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The process-wide intern table. `Arc<str>: Borrow<str>` lets warm lookups
+/// hash the borrowed text without constructing a key.
+static INTERNER: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+
+/// An interned, immutable string: cheap to clone, cheap to compare, and
+/// allocation-free after its first occurrence.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IStr(Arc<str>);
+
+/// Interns `text`, returning the shared handle for it.
+pub fn istr(text: &str) -> IStr {
+    let mut table = INTERNER
+        .get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some(existing) = table.get(text) {
+        return IStr(Arc::clone(existing));
+    }
+    let shared: Arc<str> = Arc::from(text);
+    table.insert(Arc::clone(&shared));
+    IStr(shared)
+}
+
+/// Formats into a thread-local reusable buffer, then interns the result:
+/// `istr_fmt(format_args!(…))` is the allocation-free-when-warm replacement
+/// for `format!(…)` on strings whose rendered text repeats across runs.
+pub fn istr_fmt(args: fmt::Arguments<'_>) -> IStr {
+    thread_local! {
+        static BUF: RefCell<String> = const { RefCell::new(String::new()) };
+    }
+    BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        buf.write_fmt(args).expect("formatting into a String");
+        istr(&buf)
+    })
+}
+
+impl IStr {
+    /// The interned text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for IStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for IStr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for IStr {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl Default for IStr {
+    fn default() -> Self {
+        istr("")
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(text: &str) -> Self {
+        istr(text)
+    }
+}
+
+impl From<&String> for IStr {
+    fn from(text: &String) -> Self {
+        istr(text)
+    }
+}
+
+impl From<String> for IStr {
+    fn from(text: String) -> Self {
+        istr(&text)
+    }
+}
+
+impl PartialEq<str> for IStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for IStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for IStr {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<IStr> for &str {
+    fn eq(&self, other: &IStr) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl PartialEq<IStr> for String {
+    fn eq(&self, other: &IStr) -> bool {
+        self.as_str() == &*other.0
+    }
+}
+
+impl Serialize for IStr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for IStr {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(istr(s)),
+            other => Err(Error::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_one_allocation_per_distinct_text() {
+        let a = istr("NVIDIA H100");
+        let b = istr("NVIDIA H100");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        let c = istr("AMD MI300A");
+        assert!(!Arc::ptr_eq(&a.0, &c.0));
+    }
+
+    #[test]
+    fn comparisons_match_str_semantics() {
+        let s = istr("Mojo");
+        assert_eq!(s, "Mojo");
+        assert_eq!("Mojo", s);
+        assert_eq!(s, String::from("Mojo"));
+        assert_ne!(s, "CUDA");
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with("Mo"));
+    }
+
+    #[test]
+    fn istr_fmt_reuses_the_interned_text_for_repeated_renders() {
+        let a = istr_fmt(format_args!("passed(max_abs_err={:.3e})", 1.25e-9));
+        let b = istr_fmt(format_args!("passed(max_abs_err={:.3e})", 1.25e-9));
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, "passed(max_abs_err=1.250e-9)");
+    }
+
+    #[test]
+    fn serialises_exactly_like_string() {
+        let s = istr("CUDA fast-math");
+        assert_eq!(s.to_value(), String::from("CUDA fast-math").to_value());
+        let back = IStr::from_value(&s.to_value()).expect("roundtrip");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn hashes_like_the_borrowed_text() {
+        use std::collections::HashMap;
+        let mut map: HashMap<IStr, u32> = HashMap::new();
+        map.insert(istr("fasten"), 7);
+        assert_eq!(map.get("fasten"), Some(&7));
+    }
+}

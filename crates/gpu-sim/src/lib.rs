@@ -17,8 +17,10 @@
 //!   scheduling contiguous chunks of blocks onto the persistent rayon pool;
 //! * [`coop`] — a bulk-synchronous engine for kernels that use block shared
 //!   memory and barriers (the BabelStream `dot` reduction);
-//! * [`arena`] — a thread-local scratch arena recycling the executors'
-//!   per-block buffers across launches;
+//! * [`pool`] — the process-wide size-classed buffer pool behind device
+//!   buffers, executor scratch, and pooled host staging ([`PooledVec`]): in
+//!   steady state a repeated launch touches the global allocator zero times;
+//! * [`intern`] — interned strings ([`IStr`]) for the run-labelling hot path;
 //! * [`atomics`] — device-global atomic operations (FP64/FP32 `fetch_add`);
 //! * [`stats`] — the analytic cost description of a launch (bytes moved,
 //!   FLOPs by class, atomics, access pattern);
@@ -29,14 +31,15 @@
 
 #![warn(missing_docs)]
 
-pub mod arena;
 pub mod atomics;
 pub mod coop;
 pub mod dim;
 pub mod error;
 pub mod exec;
+pub mod intern;
 pub mod isa;
 pub mod memory;
+pub mod pool;
 pub mod profiler;
 pub mod slice;
 pub mod stats;
@@ -47,8 +50,10 @@ pub use coop::{CoopKernel, CoopLaunch, PhaseOutcome};
 pub use dim::{Dim3, LaunchConfig};
 pub use error::SimError;
 pub use exec::{launch_flat, ThreadCtx};
+pub use intern::{istr, istr_fmt, IStr};
 pub use memory::{Device, DeviceBuffer};
-pub use profiler::ProfileReport;
+pub use pool::{PoolStats, PooledVec};
+pub use profiler::{MemoryReport, ProfileReport};
 pub use slice::UnsafeSlice;
 pub use stats::{AccessPattern, FlopCounts, KernelCost};
 pub use timing::{Bottleneck, ExecutionProfile, LaunchTiming, TimingModel};

@@ -8,7 +8,9 @@
 //! rows is derivable from the launch cost, the backend execution profile and
 //! the simulated duration — which is what [`ProfileReport`] does.
 
+use crate::intern::IStr;
 use crate::isa::InstructionMix;
+use crate::pool::PoolStats;
 use crate::stats::KernelCost;
 use crate::timing::{ExecutionProfile, LaunchTiming};
 use gpu_spec::GpuSpec;
@@ -26,10 +28,11 @@ const PIPE_REPORT_FACTOR: f64 = 3.5;
 /// rows of the paper's Tables 2–3.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileReport {
-    /// Backend label ("Mojo", "CUDA", "HIP").
-    pub backend: String,
-    /// Kernel name.
-    pub kernel: String,
+    /// Backend label ("Mojo", "CUDA", "HIP"). Interned: reports are derived
+    /// per launch and cloning the label must not allocate.
+    pub backend: IStr,
+    /// Kernel name. Interned for the same reason.
+    pub kernel: IStr,
     /// Kernel duration in milliseconds.
     pub duration_ms: f64,
     /// Compute (SM) throughput percentage.
@@ -120,6 +123,55 @@ impl fmt::Display for ProfileReport {
         writeln!(f, "  Registers            {:>10}", self.registers)?;
         writeln!(f, "  Load Global (LDG)    {:>10.1}", self.load_global)?;
         write!(f, "  Store Global (STG)   {:>10.1}", self.store_global)
+    }
+}
+
+/// Memory-system telemetry for one run window, derived from the process-wide
+/// buffer pool's counters. NCU has no analogue for this table — it describes
+/// the *simulator's* allocator behaviour (how much of the working set was
+/// recycled versus freshly mapped), which is the steady-state contract the
+/// memory architecture is built around.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Pool counter deltas over the observed window.
+    pub pool: PoolStats,
+}
+
+impl MemoryReport {
+    /// Snapshots the pool counters; subtract two snapshots with [`Self::since`]
+    /// to report on a window.
+    pub fn capture() -> Self {
+        MemoryReport {
+            pool: crate::pool::stats(),
+        }
+    }
+
+    /// The telemetry accumulated between `earlier` and `self`.
+    pub fn since(&self, earlier: &MemoryReport) -> Self {
+        MemoryReport {
+            pool: self.pool.since(&earlier.pool),
+        }
+    }
+}
+
+impl fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pool")?;
+        writeln!(f, "  Checkouts            {:>10}", self.pool.checkouts)?;
+        writeln!(f, "  Shelf hits           {:>10}", self.pool.hits)?;
+        writeln!(f, "  Shelf misses         {:>10}", self.pool.misses)?;
+        writeln!(
+            f,
+            "  Hit rate (%)         {:>10.1}",
+            100.0 * self.pool.hit_rate()
+        )?;
+        writeln!(f, "  Recycled bytes       {:>10}", self.pool.recycled_bytes)?;
+        writeln!(f, "  Fresh bytes          {:>10}", self.pool.fresh_bytes)?;
+        write!(
+            f,
+            "  High water bytes     {:>10}",
+            self.pool.high_water_bytes
+        )
     }
 }
 
@@ -261,6 +313,20 @@ mod tests {
             "Store Global",
         ] {
             assert!(s.contains(needle), "missing row {needle}");
+        }
+    }
+
+    #[test]
+    fn memory_report_windows_subtract_counters() {
+        let before = MemoryReport::capture();
+        // Force at least one pool checkout so the window is non-trivial.
+        let v: crate::pool::PooledVec<u8> = crate::pool::PooledVec::with_capacity(1 << 14);
+        drop(v);
+        let delta = MemoryReport::capture().since(&before);
+        assert!(delta.pool.checkouts >= 1);
+        let rendered = delta.to_string();
+        for needle in ["Checkouts", "Hit rate", "Recycled bytes", "High water"] {
+            assert!(rendered.contains(needle), "missing row {needle}");
         }
     }
 }

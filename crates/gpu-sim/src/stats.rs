@@ -8,10 +8,18 @@
 //! timing model converts that cost into simulated time. Unit tests in the
 //! kernels crate validate the declared costs against instrumented counts on
 //! small problems.
+//!
+//! Host-side memory behaviour is part of the cost story too: [`PoolStats`]
+//! (re-exported from [`crate::pool`]) snapshots the buffer-pool counters —
+//! checkouts, hits/misses, recycled vs fresh bytes, high-water mark — so
+//! reports and benches can attribute allocator traffic per launch.
 
 use crate::dim::LaunchConfig;
+use crate::intern::IStr;
 use gpu_spec::Precision;
 use serde::{Deserialize, Serialize};
+
+pub use crate::pool::PoolStats;
 
 /// Classified floating-point operation counts for one kernel launch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -107,7 +115,8 @@ impl AccessPattern {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelCost {
     /// Kernel name as it appears in reports ("laplacian", "copy", "fasten", …).
-    pub kernel_name: String,
+    /// Interned: cost construction on the run hot path stays allocation-free.
+    pub kernel_name: IStr,
     /// Arithmetic precision of the kernel.
     pub precision: Precision,
     /// Launch configuration the cost corresponds to.
@@ -143,7 +152,7 @@ pub struct KernelCost {
 impl KernelCost {
     /// Starts building a cost description for a kernel.
     pub fn builder(
-        kernel_name: impl Into<String>,
+        kernel_name: impl Into<IStr>,
         precision: Precision,
         launch: LaunchConfig,
         pattern: AccessPattern,

@@ -16,6 +16,7 @@
 //! fast-math lowered the transcendental cost, and how well its atomic path
 //! performs. All paper-derived constants live in that crate, not here.
 
+use crate::intern::IStr;
 use crate::stats::KernelCost;
 use gpu_spec::GpuSpec;
 use rand::rngs::StdRng;
@@ -31,7 +32,8 @@ pub const DIV_SQRT_COST: f64 = 4.0;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionProfile {
     /// Backend label as it appears in plots ("Mojo", "CUDA", "CUDA -ffast-math", "HIP").
-    pub backend: String,
+    /// Interned: profiles are rebuilt per run, and the label must not allocate.
+    pub backend: IStr,
     /// Registers allocated per thread (Tables 2–3 "Registers" row).
     pub registers_per_thread: u32,
     /// Fraction of peak DRAM bandwidth the generated code sustains (0..=1].
@@ -58,7 +60,7 @@ pub struct ExecutionProfile {
 impl ExecutionProfile {
     /// A neutral profile achieving ideal efficiency; useful for tests and for
     /// expressing theoretical upper bounds.
-    pub fn ideal(backend: impl Into<String>) -> Self {
+    pub fn ideal(backend: impl Into<IStr>) -> Self {
         ExecutionProfile {
             backend: backend.into(),
             registers_per_thread: 32,

@@ -8,9 +8,10 @@
 use super::config::{BabelStreamConfig, INIT_A, INIT_B, INIT_C, SCALAR};
 use super::cost::stream_cost;
 use super::reference::expected_values;
+use crate::cache;
 use crate::common::{Verification, WorkloadRun};
 use crate::real::Real;
-use gpu_sim::{Dim3, SimError};
+use gpu_sim::{istr, Dim3, SimError};
 use portable_kernel::prelude::*;
 use rayon::prelude::*;
 use vendor_models::kernel_class::StreamOp;
@@ -28,7 +29,7 @@ pub fn run_portable(
         precision: config.precision,
     };
     let profile = platform.execution_profile(&class);
-    let timing = platform.timing_model().estimate(&cost, &profile);
+    let timing = cache::timing_model(platform).estimate(&cost, &profile);
 
     let verification = if config.validate {
         match config.precision {
@@ -37,14 +38,14 @@ pub fn run_portable(
         }
     } else {
         Verification::Skipped {
-            reason: "functional execution disabled for this configuration".to_string(),
+            reason: istr("functional execution disabled for this configuration"),
         }
     };
 
     Ok(WorkloadRun {
         backend: profile.backend.clone(),
-        device: platform.spec.name.clone(),
-        kernel: op.label().to_string(),
+        device: istr(&platform.spec.name),
+        kernel: istr(op.label()),
         cost,
         profile,
         timing,
@@ -112,7 +113,7 @@ fn execute<T: Real>(
     config: &BabelStreamConfig,
 ) -> Result<Verification, SimError> {
     let n = config.n;
-    let ctx = DeviceContext::new(platform.spec.clone());
+    let ctx = DeviceContext::from_device(cache::device(platform));
     let layout = Layout::row_major_1d(n);
     let a = LayoutTensor::new(ctx.enqueue_create_buffer::<T>(n)?, layout)?;
     let b = LayoutTensor::new(ctx.enqueue_create_buffer::<T>(n)?, layout)?;
@@ -181,12 +182,12 @@ fn execute<T: Real>(
             };
             ctx.enqueue_cooperative(dot_launch, &kernel)?;
             // Host-side reduction of the per-block partials through the
-            // deterministic lane: the sum is bitwise-identical at every
-            // thread count.
-            let partials = sums.to_host();
-            let total: f64 = (0..partials.len())
+            // deterministic lane, reading straight from the device buffer:
+            // the sum is bitwise-identical at every thread count.
+            let partials = &sums;
+            let total: f64 = (0..num_blocks)
                 .into_par_iter()
-                .map(|i| partials[i].to_f64())
+                .map(|i| partials.get(i).to_f64())
                 .sum();
             (total - expected).abs() / expected.abs().max(1.0)
         }

@@ -8,12 +8,11 @@
 use super::config::{BabelStreamConfig, INIT_A, INIT_B, INIT_C, SCALAR};
 use super::cost::stream_cost;
 use super::reference::expected_values;
+use crate::cache;
 use crate::common::{Verification, WorkloadRun};
 use crate::real::Real;
 use gpu_sim::memory::DeviceBuffer;
-use gpu_sim::{
-    launch_flat, CoopKernel, CoopLaunch, Device, Dim3, PhaseOutcome, SimError, ThreadCtx,
-};
+use gpu_sim::{istr, launch_flat, CoopKernel, CoopLaunch, Dim3, PhaseOutcome, SimError, ThreadCtx};
 use rayon::prelude::*;
 use vendor_models::kernel_class::StreamOp;
 use vendor_models::{heuristics, KernelClass, Platform};
@@ -30,7 +29,7 @@ pub fn run_vendor(
         precision: config.precision,
     };
     let profile = platform.execution_profile(&class);
-    let timing = platform.timing_model().estimate(&cost, &profile);
+    let timing = cache::timing_model(platform).estimate(&cost, &profile);
 
     let verification = if config.validate {
         match config.precision {
@@ -39,14 +38,14 @@ pub fn run_vendor(
         }
     } else {
         Verification::Skipped {
-            reason: "functional execution disabled for this configuration".to_string(),
+            reason: istr("functional execution disabled for this configuration"),
         }
     };
 
     Ok(WorkloadRun {
         backend: profile.backend.clone(),
-        device: platform.spec.name.clone(),
-        kernel: op.label().to_string(),
+        device: istr(&platform.spec.name),
+        kernel: istr(op.label()),
         cost,
         profile,
         timing,
@@ -111,7 +110,7 @@ fn execute<T: Real>(
     config: &BabelStreamConfig,
 ) -> Result<Verification, SimError> {
     let n = config.n;
-    let device = Device::new(platform.spec.clone());
+    let device = cache::device(platform);
     let a = device.alloc::<T>(n)?;
     let b = device.alloc::<T>(n)?;
     let c = device.alloc::<T>(n)?;
@@ -176,11 +175,12 @@ fn execute<T: Real>(
                 n,
             };
             CoopLaunch::run(&dot_launch, &kernel);
-            // Deterministic host-side reduction of the per-block partials.
-            let partials = sums.copy_to_host();
+            // Deterministic host-side reduction of the per-block partials,
+            // reading straight from the device buffer.
+            let partials = &sums;
             let total: f64 = (0..partials.len())
                 .into_par_iter()
-                .map(|i| partials[i].to_f64())
+                .map(|i| partials.read(i).to_f64())
                 .sum();
             (total - expected).abs() / expected.abs().max(1.0)
         }

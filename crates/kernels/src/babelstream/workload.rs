@@ -7,6 +7,7 @@ use crate::workload::{
     check_int_range, paper_platform_pairs, Measurement, ParamSpec, Params, Workload, WorkloadError,
     WorkloadOutput,
 };
+use gpu_sim::PooledVec;
 use hpc_metrics::{babelstream_bandwidth_gbs, BabelStreamOp};
 use vendor_models::kernel_class::StreamOp;
 
@@ -28,15 +29,23 @@ pub fn metric_op(op: StreamOp) -> BabelStreamOp {
 }
 
 /// Parses the `op` keyword: one operation name, or `all` for the paper's
-/// five-operation presentation order.
-pub fn parse_ops(keyword: &str) -> Result<Vec<StreamOp>, WorkloadError> {
+/// five-operation presentation order. Returns a borrowed static slice — op
+/// selection is a lookup, not a per-run allocation.
+pub fn parse_ops(keyword: &str) -> Result<&'static [StreamOp], WorkloadError> {
+    /// Singleton slices for each operation, in [`StreamOp::ALL`] order.
+    const SINGLES: [[StreamOp; 1]; 5] = [
+        [StreamOp::ALL[0]],
+        [StreamOp::ALL[1]],
+        [StreamOp::ALL[2]],
+        [StreamOp::ALL[3]],
+        [StreamOp::ALL[4]],
+    ];
     match keyword {
-        "all" => Ok(StreamOp::ALL.to_vec()),
+        "all" => Ok(&StreamOp::ALL),
         single => StreamOp::ALL
             .iter()
-            .copied()
-            .find(|op| op.label().eq_ignore_ascii_case(single))
-            .map(|op| vec![op])
+            .position(|op| op.label().eq_ignore_ascii_case(single))
+            .map(|i| &SINGLES[i][..])
             .ok_or_else(|| {
                 WorkloadError::new(format!(
                     "unknown op '{single}' (expected all, copy, mul, add, triad or dot)"
@@ -102,10 +111,10 @@ impl Workload for BabelStreamWorkload {
         self.validate(params)?;
         let config = config(params)?;
         let ops = parse_ops(params.text("op"))?;
-        let mut measurements = Vec::new();
+        let mut measurements = PooledVec::new();
         for platform in paper_platform_pairs() {
-            for &op in &ops {
-                let run = super::run(&platform, op, &config)?;
+            for &op in ops {
+                let run = super::run(platform, op, &config)?;
                 let fom = babelstream_bandwidth_gbs(
                     metric_op(op),
                     config.n as u64,

@@ -22,13 +22,16 @@
 //! costs one uncontended map-mutex fetch of the cell plus an `Arc` clone —
 //! no per-cell claim bookkeeping.
 
-use crate::hartree_fock::{HartreeFockConfig, HeliumSystem};
-use crate::minibude::{Deck, MiniBudeConfig};
-use crate::stencil7::{initialize_grid, StencilConfig};
+use crate::hartree_fock::{reference_fock, HartreeFockConfig, HeliumSystem, SampledPlan};
+use crate::minibude::{reference_energies, Deck, MiniBudeConfig};
+use crate::stencil7::{initialize_grid, reference_laplacian, StencilConfig};
+use gpu_sim::memory::Device;
+use gpu_sim::{istr, IStr, TimingModel};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::ThreadId;
+use vendor_models::Platform;
 
 thread_local! {
     /// Number of generation claims this thread currently holds, across all
@@ -155,6 +158,29 @@ impl<K: Eq + Hash, V> Memo<K, V> {
     }
 }
 
+static DEVICE: Memo<IStr, Device> = Memo::new();
+
+/// The shared simulated [`Device`] for a platform's GPU spec (keyed by the
+/// spec's name — there are exactly two devices in the paper). A `Device` is
+/// internally reference-counted, so handing every run a clone of the cached
+/// instance makes per-run device setup allocation-free; capacity accounting
+/// is shared, which is exactly how a real device behaves.
+pub fn device(platform: &Platform) -> Device {
+    (*DEVICE.get_or_generate(istr(&platform.spec.name), || {
+        Device::new(platform.spec.clone())
+    }))
+    .clone()
+}
+
+static TIMING: Memo<IStr, TimingModel> = Memo::new();
+
+/// The shared [`TimingModel`] for a platform's GPU spec. Building a model
+/// clones the spec (one heap-allocated name); every launch of every workload
+/// needs one, so the two paper devices' models are built once.
+pub fn timing_model(platform: &Platform) -> Arc<TimingModel> {
+    TIMING.get_or_generate(istr(&platform.spec.name), || platform.timing_model())
+}
+
 /// The fields of [`HartreeFockConfig`] that determine the generated system
 /// (screening tolerance and validation flags do not).
 #[derive(PartialEq, Eq, Hash)]
@@ -164,19 +190,79 @@ struct HeliumKey {
     spacing_bits: u64,
 }
 
+fn helium_key(config: &HartreeFockConfig) -> HeliumKey {
+    HeliumKey {
+        natoms: config.natoms,
+        ngauss: config.ngauss,
+        spacing_bits: config.spacing.to_bits(),
+    }
+}
+
 static HELIUM: Memo<HeliumKey, HeliumSystem> = Memo::new();
 
 /// The shared [`HeliumSystem`] for a configuration — geometry, basis, density
 /// and Schwarz factors are generated once per distinct
 /// (natoms, ngauss, spacing) and reused by the report, tests and benches.
 pub fn helium_system(config: &HartreeFockConfig) -> Arc<HeliumSystem> {
-    HELIUM.get_or_generate(
-        HeliumKey {
-            natoms: config.natoms,
-            ngauss: config.ngauss,
-            spacing_bits: config.spacing.to_bits(),
+    HELIUM.get_or_generate(helium_key(config), || HeliumSystem::generate(config))
+}
+
+/// A Hartree–Fock reference result additionally depends on the screening
+/// tolerance (it decides which quartets contribute).
+#[derive(PartialEq, Eq, Hash)]
+struct FockKey {
+    system: HeliumKey,
+    tol_bits: u64,
+}
+
+fn fock_key(config: &HartreeFockConfig) -> FockKey {
+    FockKey {
+        system: helium_key(config),
+        tol_bits: config.screening_tol.to_bits(),
+    }
+}
+
+static FOCK_REF: Memo<FockKey, Vec<f64>> = Memo::new();
+
+/// The shared CPU-reference Fock matrix for a configuration. The full quartet
+/// sweep is the most expensive part of a functional Hartree–Fock validation;
+/// four platforms re-verify against the same matrix, and repeated launches
+/// reuse it outright.
+pub fn hartree_fock_reference(config: &HartreeFockConfig) -> Arc<Vec<f64>> {
+    FOCK_REF.get_or_generate(fock_key(config), || {
+        reference_fock(&helium_system(config), config.screening_tol)
+    })
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct SampledKey {
+    fock: FockKey,
+    samples: u64,
+    shards: u64,
+}
+
+static SAMPLED: Memo<SampledKey, SampledPlan> = Memo::new();
+
+/// The shared run-invariant plan of a sampled Hartree–Fock validation: the
+/// stratified probe set, its CPU-reference ERIs and the expected Fock
+/// contributions. Sampling is purely arithmetic (no RNG), so the plan is a
+/// function of the system, tolerance and probe counts alone.
+pub fn sampled_plan(config: &HartreeFockConfig, samples: u64, shards: u64) -> Arc<SampledPlan> {
+    SAMPLED.get_or_generate(
+        SampledKey {
+            fock: fock_key(config),
+            samples,
+            shards,
         },
-        || HeliumSystem::generate(config),
+        || {
+            SampledPlan::generate(
+                &helium_system(config),
+                config.screening_tol,
+                config.nquartets(),
+                samples,
+                shards,
+            )
+        },
     )
 }
 
@@ -190,20 +276,70 @@ struct DeckKey {
     seed: u64,
 }
 
+fn deck_key(config: &MiniBudeConfig) -> DeckKey {
+    DeckKey {
+        natlig: config.natlig,
+        natpro: config.natpro,
+        nposes: config.nposes,
+        seed: config.seed,
+    }
+}
+
 static DECK: Memo<DeckKey, Deck> = Memo::new();
 
 /// The shared miniBUDE [`Deck`] for a configuration. The paper's PPWI sweep
 /// runs the same bm1 deck through 16 launch shapes per device; this memo
 /// generates it once.
 pub fn minibude_deck(config: &MiniBudeConfig) -> Arc<Deck> {
-    DECK.get_or_generate(
-        DeckKey {
-            natlig: config.natlig,
-            natpro: config.natpro,
-            nposes: config.nposes,
-            seed: config.seed,
+    DECK.get_or_generate(deck_key(config), || Deck::generate(config))
+}
+
+/// The flattened (4-floats-per-atom / 3-floats-per-type) device upload
+/// views of a deck — the layout workaround the paper describes for Mojo's
+/// missing plain-old-data GPU allocations.
+pub struct DeckFlats {
+    /// Protein atoms, 4 floats each (x, y, z, type-as-float).
+    pub protein: Vec<f32>,
+    /// Ligand atoms, 4 floats each.
+    pub ligand: Vec<f32>,
+    /// Force-field parameters, 3 floats per type (radius, hphb, charge).
+    pub forcefield: Vec<f32>,
+}
+
+static FLATS: Memo<DeckKey, DeckFlats> = Memo::new();
+
+/// The shared flattened upload buffers of a deck. Both fasten drivers upload
+/// the same three arrays on every run; flattening them once per deck keeps
+/// repeated launches off the allocator.
+pub fn minibude_flats(config: &MiniBudeConfig) -> Arc<DeckFlats> {
+    FLATS.get_or_generate(deck_key(config), || {
+        let deck = minibude_deck(config);
+        DeckFlats {
+            protein: deck.protein_flat(),
+            ligand: deck.ligand_flat(),
+            forcefield: deck.forcefield_flat(),
+        }
+    })
+}
+
+/// A fasten reference depends on the deck and on how many poses execute.
+#[derive(PartialEq, Eq, Hash)]
+struct BudeRefKey {
+    deck: DeckKey,
+    poses: usize,
+}
+
+static BUDE_REF: Memo<BudeRefKey, Vec<f32>> = Memo::new();
+
+/// The shared CPU-reference pose energies for a configuration's executed
+/// poses.
+pub fn minibude_reference(config: &MiniBudeConfig) -> Arc<Vec<f32>> {
+    BUDE_REF.get_or_generate(
+        BudeRefKey {
+            deck: deck_key(config),
+            poses: config.executed_poses,
         },
-        || Deck::generate(config),
+        || reference_energies(&minibude_deck(config), config.executed_poses),
     )
 }
 
@@ -213,6 +349,56 @@ static GRID: Memo<usize, Vec<f64>> = Memo::new();
 /// side `l` alone — the field is evaluated on the normalised unit cube).
 pub fn stencil_grid(config: &StencilConfig) -> Arc<Vec<f64>> {
     GRID.get_or_generate(config.l, || initialize_grid(config))
+}
+
+static GRID_F32: Memo<usize, Vec<f32>> = Memo::new();
+
+/// The shared FP32 narrowing of the stencil input grid.
+pub fn stencil_grid_f32(config: &StencilConfig) -> Arc<Vec<f32>> {
+    GRID_F32.get_or_generate(config.l, || {
+        stencil_grid(config).iter().map(|&v| v as f32).collect()
+    })
+}
+
+/// Per-precision access to the cached stencil grid, so the generic driver
+/// body can fetch its working-precision input without converting per run.
+pub trait StencilGridCache: Sized {
+    /// The cached input grid at this precision.
+    fn cached_stencil_grid(config: &StencilConfig) -> Arc<Vec<Self>>;
+}
+
+impl StencilGridCache for f64 {
+    fn cached_stencil_grid(config: &StencilConfig) -> Arc<Vec<f64>> {
+        stencil_grid(config)
+    }
+}
+
+impl StencilGridCache for f32 {
+    fn cached_stencil_grid(config: &StencilConfig) -> Arc<Vec<f32>> {
+        stencil_grid_f32(config)
+    }
+}
+
+/// A stencil reference depends on the grid side and the spacing that shapes
+/// the coefficients (always `1/(l-1)` today, keyed defensively anyway).
+#[derive(PartialEq, Eq, Hash)]
+struct StencilRefKey {
+    l: usize,
+    spacing_bits: u64,
+}
+
+static STENCIL_REF: Memo<StencilRefKey, Vec<f64>> = Memo::new();
+
+/// The shared CPU-reference Laplacian for a configuration. The reference is
+/// always evaluated in f64 from the f64 grid, whatever the working precision.
+pub fn stencil_reference(config: &StencilConfig) -> Arc<Vec<f64>> {
+    STENCIL_REF.get_or_generate(
+        StencilRefKey {
+            l: config.l,
+            spacing_bits: config.spacing.to_bits(),
+        },
+        || reference_laplacian(config, &stencil_grid(config)),
+    )
 }
 
 #[cfg(test)]

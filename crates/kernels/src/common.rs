@@ -2,7 +2,7 @@
 //! sampling.
 
 use gpu_sim::timing::JitterModel;
-use gpu_sim::{ExecutionProfile, KernelCost, LaunchTiming};
+use gpu_sim::{ExecutionProfile, IStr, KernelCost, LaunchTiming};
 use hpc_metrics::RunStats;
 use serde::{Deserialize, Serialize};
 
@@ -17,8 +17,9 @@ pub enum Verification {
     /// Functional execution was skipped (problem too large to run on the
     /// host within the experiment budget); the cost model is still exact.
     Skipped {
-        /// Why functional execution was skipped.
-        reason: String,
+        /// Why functional execution was skipped. Interned: skip reasons are
+        /// drawn from a small fixed set, so repeated runs re-use one string.
+        reason: IStr,
     },
 }
 
@@ -40,12 +41,13 @@ impl Verification {
 /// were checked.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkloadRun {
-    /// Backend label ("Mojo", "CUDA", "CUDA fast-math", "HIP", …).
-    pub backend: String,
-    /// Device name (e.g. "NVIDIA H100 NVL - 94 GB").
-    pub device: String,
-    /// Kernel name.
-    pub kernel: String,
+    /// Backend label ("Mojo", "CUDA", "CUDA fast-math", "HIP", …). Interned
+    /// so that building and cloning run records never allocates once warm.
+    pub backend: IStr,
+    /// Device name (e.g. "NVIDIA H100 NVL - 94 GB"). Interned.
+    pub device: IStr,
+    /// Kernel name. Interned.
+    pub kernel: IStr,
     /// Analytic launch cost.
     pub cost: KernelCost,
     /// Backend execution profile used for timing.
@@ -121,11 +123,63 @@ pub fn compare_slices(actual: &[f64], expected: &[f64], tolerance: f64) -> Resul
     Ok(max_err)
 }
 
-/// Single-precision variant of [`compare_slices`].
+/// Generic variant of [`compare_slices`]: compares a typed kernel output
+/// against an `f64` reference, widening element-by-element instead of staging
+/// a converted copy — the verification loop never touches the allocator.
+pub fn compare_with_reference<T: crate::real::Real>(
+    actual: &[T],
+    expected: &[f64],
+    tolerance: f64,
+) -> Result<f64, String> {
+    if actual.len() != expected.len() {
+        return Err(format!(
+            "length mismatch: {} vs {}",
+            actual.len(),
+            expected.len()
+        ));
+    }
+    let mut max_err = 0.0f64;
+    for (i, (&a, &e)) in actual.iter().zip(expected.iter()).enumerate() {
+        let a = a.to_f64();
+        let err = (a - e).abs();
+        let scale = e.abs().max(1.0);
+        if err / scale > tolerance {
+            return Err(format!(
+                "element {i} differs: got {a}, expected {e} (relative error {:.3e})",
+                err / scale
+            ));
+        }
+        max_err = max_err.max(err);
+    }
+    Ok(max_err)
+}
+
+/// Single-precision variant of [`compare_slices`]. Compares element-wise
+/// without staging widened copies, so the steady-state hot path stays off the
+/// allocator.
 pub fn compare_slices_f32(actual: &[f32], expected: &[f32], tolerance: f32) -> Result<f64, String> {
-    let a: Vec<f64> = actual.iter().map(|&x| f64::from(x)).collect();
-    let e: Vec<f64> = expected.iter().map(|&x| f64::from(x)).collect();
-    compare_slices(&a, &e, f64::from(tolerance))
+    if actual.len() != expected.len() {
+        return Err(format!(
+            "length mismatch: {} vs {}",
+            actual.len(),
+            expected.len()
+        ));
+    }
+    let tolerance = f64::from(tolerance);
+    let mut max_err = 0.0f64;
+    for (i, (&a, &e)) in actual.iter().zip(expected.iter()).enumerate() {
+        let (a, e) = (f64::from(a), f64::from(e));
+        let err = (a - e).abs();
+        let scale = e.abs().max(1.0);
+        if err / scale > tolerance {
+            return Err(format!(
+                "element {i} differs: got {a}, expected {e} (relative error {:.3e})",
+                err / scale
+            ));
+        }
+        max_err = max_err.max(err);
+    }
+    Ok(max_err)
 }
 
 #[cfg(test)]
@@ -147,9 +201,9 @@ mod tests {
         let profile = ExecutionProfile::ideal("Mojo");
         let timing = TimingModel::new(presets::test_device()).estimate(&cost, &profile);
         WorkloadRun {
-            backend: "Mojo".to_string(),
-            device: "test".to_string(),
-            kernel: "copy".to_string(),
+            backend: gpu_sim::istr("Mojo"),
+            device: gpu_sim::istr("test"),
+            kernel: gpu_sim::istr("copy"),
             cost,
             profile,
             timing,
@@ -175,7 +229,7 @@ mod tests {
     fn different_kernels_get_different_jitter_streams() {
         let run = dummy_run();
         let mut other = dummy_run();
-        other.kernel = "add".to_string();
+        other.kernel = gpu_sim::istr("add");
         assert_ne!(
             run.sample_durations(10, 0.02, 7),
             other.sample_durations(10, 0.02, 7)
@@ -199,11 +253,11 @@ mod tests {
     fn verification_helpers() {
         assert!(Verification::Passed { max_abs_error: 0.0 }.is_verified());
         assert!(!Verification::Skipped {
-            reason: "too large".to_string()
+            reason: gpu_sim::istr("too large")
         }
         .is_verified());
         assert!(Verification::Skipped {
-            reason: "x".to_string()
+            reason: gpu_sim::istr("x")
         }
         .is_ok());
     }

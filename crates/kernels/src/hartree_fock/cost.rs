@@ -4,7 +4,7 @@
 use super::config::HartreeFockConfig;
 use super::geometry::HeliumSystem;
 use gpu_sim::stats::{AccessPattern, FlopCounts};
-use gpu_sim::KernelCost;
+use gpu_sim::{KernelCost, PooledVec};
 use gpu_spec::Precision;
 use vendor_models::heuristics;
 
@@ -18,8 +18,11 @@ pub fn surviving_quartets(schwarz: &[f64], tol: f64) -> u64 {
     if n == 0 {
         return 0;
     }
-    let mut sorted: Vec<f64> = schwarz.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("schwarz factors must not be NaN"));
+    let mut sorted: PooledVec<f64> = PooledVec::new();
+    sorted.extend_from_slice(schwarz);
+    // Unstable sort: no scratch allocation, and the sweep below only depends
+    // on the sorted multiset, so stability buys nothing.
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("schwarz factors must not be NaN"));
 
     // ordered_pairs = #{(u, v) in any order : s_u * s_v > tol}
     let mut ordered_pairs: u64 = 0;

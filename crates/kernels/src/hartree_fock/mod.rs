@@ -29,7 +29,8 @@ pub use geometry::HeliumSystem;
 pub use portable::run_portable;
 pub use reference::reference_fock;
 pub use sampled::{
-    run_sampled, shard_ranges, SampledValidation, ShardStats, DEFAULT_SAMPLES, DEFAULT_SHARDS,
+    run_sampled, shard_ranges, SampledPlan, SampledValidation, ShardStats, DEFAULT_SAMPLES,
+    DEFAULT_SHARDS,
 };
 pub use triangular::{pair_count, pair_decode, pair_encode, quartet_decode};
 pub use vendor::run_vendor;

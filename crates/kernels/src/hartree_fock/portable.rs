@@ -7,11 +7,11 @@
 use super::config::HartreeFockConfig;
 use super::cost::hartree_fock_cost;
 use super::geometry::HeliumSystem;
-use super::reference::{quartet_eri, reference_fock};
+use super::reference::quartet_eri;
 use super::triangular::pair_decode;
 use crate::cache;
 use crate::common::{compare_slices, Verification, WorkloadRun};
-use gpu_sim::SimError;
+use gpu_sim::{istr, istr_fmt, SimError};
 use portable_kernel::prelude::*;
 use vendor_models::{heuristics, KernelClass, Platform};
 
@@ -27,23 +27,23 @@ pub fn run_portable(
         ngauss: config.ngauss,
     };
     let profile = platform.execution_profile(&class);
-    let timing = platform.timing_model().estimate(&cost, &profile);
+    let timing = cache::timing_model(platform).estimate(&cost, &profile);
 
     let verification = if config.should_execute() {
         execute(platform, config, &system)?
     } else {
         Verification::Skipped {
-            reason: format!(
+            reason: istr_fmt(format_args!(
                 "natoms = {} exceeds the functional-execution limit; cost model only",
                 config.natoms
-            ),
+            )),
         }
     };
 
     Ok(WorkloadRun {
         backend: profile.backend.clone(),
-        device: platform.spec.name.clone(),
-        kernel: "hartree_fock".to_string(),
+        device: istr(&platform.spec.name),
+        kernel: istr("hartree_fock"),
         cost,
         profile,
         timing,
@@ -57,7 +57,7 @@ fn execute(
     system: &HeliumSystem,
 ) -> Result<Verification, SimError> {
     let natoms = system.natoms;
-    let ctx = DeviceContext::new(platform.spec.clone());
+    let ctx = DeviceContext::from_device(cache::device(platform));
 
     let dens = LayoutTensor::new(
         ctx.enqueue_create_buffer_from(&system.dens)?,
@@ -102,8 +102,9 @@ fn execute(
     })?;
     ctx.synchronize();
 
-    let expected = reference_fock(system, tol);
-    let actual = fock.to_host();
+    let expected = cache::hartree_fock_reference(config);
+    let mut actual: PooledVec<f64> = PooledVec::new();
+    fock.to_host_into(&mut actual);
     match compare_slices(&actual, &expected, 1e-9) {
         Ok(max_abs_error) => Ok(Verification::Passed { max_abs_error }),
         Err(msg) => Err(SimError::InvalidParameter(format!(

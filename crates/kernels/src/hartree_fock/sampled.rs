@@ -27,7 +27,7 @@ use super::reference::{quartet_eri, scatter_fock};
 use super::triangular::pair_decode;
 use crate::cache;
 use crate::common::compare_slices;
-use gpu_sim::SimError;
+use gpu_sim::{PooledVec, SimError};
 use portable_kernel::prelude::*;
 use rayon::prelude::*;
 use vendor_models::{heuristics, Platform};
@@ -78,7 +78,7 @@ pub struct SampledValidation {
     /// Total quartet count of the system.
     pub nquartets: u64,
     /// Per-shard sampling statistics.
-    pub shards: Vec<ShardStats>,
+    pub shards: PooledVec<ShardStats>,
     /// Probes taken across all shards.
     pub probed: u64,
     /// Sampled quartets that survived screening (and were executed).
@@ -120,6 +120,65 @@ pub fn shard_ranges(nquartets: u64, shards: u64) -> Vec<(u64, u64)> {
         start += len;
     }
     ranges
+}
+
+/// The run-invariant part of one sampled validation: the stratified probe
+/// set, its surviving quartets, the CPU-reference ERIs for those quartets,
+/// and the Fock contributions they are expected to produce. Sampling is
+/// purely arithmetic (no RNG), so the plan is a function of the system,
+/// tolerance and probe counts alone — [`cache::sampled_plan`] generates it
+/// once and every repeated run replays it without touching the allocator.
+#[derive(Debug)]
+pub struct SampledPlan {
+    /// Per-shard statistics template, `max_abs_error` zeroed.
+    pub shards: Vec<ShardStats>,
+    /// Surviving `(shard, quartet)` probes in index order.
+    pub survivors: Vec<(u64, u64)>,
+    /// CPU-reference ERI of each surviving probe.
+    pub host_eris: Vec<f64>,
+    /// Expected Fock contributions of the surviving probes (flattened
+    /// `natoms × natoms`).
+    pub expected_fock: Vec<f64>,
+}
+
+impl SampledPlan {
+    /// Generates the plan: stratified sampling, reference ERIs through the
+    /// deterministic lane, and a serial scatter of the expected Fock
+    /// contributions.
+    pub(crate) fn generate(
+        system: &HeliumSystem,
+        screening_tol: f64,
+        nquartets: u64,
+        samples: u64,
+        shards: u64,
+    ) -> SampledPlan {
+        let (stats, survivors) = sample_quartets(system, screening_tol, nquartets, samples, shards);
+        let nsamples = survivors.len();
+        let host_eris: Vec<f64> = {
+            let survivors = &survivors;
+            (0..nsamples)
+                .into_par_iter()
+                .map(move |i| {
+                    let (ij, kl) = pair_decode(survivors[i].1);
+                    quartet_eri(system, ij, kl)
+                })
+                .collect()
+        };
+        let natoms = system.natoms;
+        let mut expected_fock = vec![0.0f64; natoms * natoms];
+        for (&(_, q), &eri) in survivors.iter().zip(host_eris.iter()) {
+            let (ij, kl) = pair_decode(q);
+            scatter_fock(natoms, &system.dens, eri, ij, kl, |index, value| {
+                expected_fock[index] += value;
+            });
+        }
+        SampledPlan {
+            shards: stats,
+            survivors,
+            host_eris,
+            expected_fock,
+        }
+    }
 }
 
 /// Stratified sample of the quartet space: probes each shard at a fixed
@@ -180,35 +239,18 @@ pub fn run_sampled(
     let system = cache::helium_system(config);
     let natoms = system.natoms;
     let nquartets = config.nquartets();
-    let (mut stats, sampled) =
-        sample_quartets(&system, config.screening_tol, nquartets, samples, shards);
 
-    // Host reference: per-sample ERIs through the deterministic lane, then a
-    // serial scatter into the expected Fock contributions.
-    let quartets: Vec<u64> = sampled.iter().map(|&(_, q)| q).collect();
-    let nsamples = quartets.len();
-    let host_eris: Vec<f64> = {
-        let quartets = &quartets;
-        let system = &system;
-        (0..nsamples)
-            .into_par_iter()
-            .map(move |i| {
-                let (ij, kl) = pair_decode(quartets[i]);
-                quartet_eri(system, ij, kl)
-            })
-            .collect()
-    };
-    let mut expected_fock = vec![0.0f64; natoms * natoms];
-    for (&q, &eri) in quartets.iter().zip(host_eris.iter()) {
-        let (ij, kl) = pair_decode(q);
-        scatter_fock(natoms, &system.dens, eri, ij, kl, |index, value| {
-            expected_fock[index] += value;
-        });
-    }
+    // The probe set, reference ERIs and expected Fock contributions are
+    // run-invariant — fetch the cached plan and copy the mutable shard
+    // statistics into pooled storage.
+    let plan = cache::sampled_plan(config, samples, shards);
+    let mut stats: PooledVec<ShardStats> = PooledVec::new();
+    stats.extend_from_slice(&plan.shards);
+    let nsamples = plan.survivors.len();
 
     // Device execution: one thread per surviving sample, writing its ERI and
     // scattering the six atomic Fock updates of Listing 5.
-    let ctx = DeviceContext::new(platform.spec.clone());
+    let ctx = DeviceContext::from_device(cache::device(platform));
     let dens = LayoutTensor::new(
         ctx.enqueue_create_buffer_from(&system.dens)?,
         Layout::row_major_2d(natoms, natoms),
@@ -225,13 +267,13 @@ pub fn run_sampled(
         let launch = heuristics::hartree_fock_launch(nsamples as u64);
         let (fock_k, dens_k, eris_k) = (fock.clone(), dens.clone(), eris.clone());
         let system_k = &system;
-        let quartets_k = &quartets;
+        let survivors_k = &plan.survivors;
         ctx.enqueue_function(launch, move |t| {
             let sample = t.global_x() as usize;
             if sample >= nsamples {
                 return;
             }
-            let (ij, kl) = pair_decode(quartets_k[sample]);
+            let (ij, kl) = pair_decode(survivors_k[sample].1);
             let eri = quartet_eri(system_k, ij, kl);
             eris_k.set(sample, eri);
             let (i, j) = pair_decode(ij);
@@ -249,16 +291,19 @@ pub fn run_sampled(
 
     // Compare: per-sample ERIs (exact arithmetic path) and the aggregated
     // Fock contributions (the atomic-scatter path, tolerance for reassociation).
-    let device_eris = eris.to_host();
+    let mut device_eris: PooledVec<f64> = PooledVec::new();
+    eris.to_host_into(&mut device_eris);
     let mut eri_max_abs_error = 0.0f64;
-    for (sample, &(shard, _)) in sampled.iter().enumerate() {
-        let err = (device_eris[sample] - host_eris[sample]).abs();
+    for (sample, &(shard, _)) in plan.survivors.iter().enumerate() {
+        let err = (device_eris[sample] - plan.host_eris[sample]).abs();
         eri_max_abs_error = eri_max_abs_error.max(err);
         let stat = &mut stats[shard as usize];
         stat.max_abs_error = stat.max_abs_error.max(err);
     }
+    let mut device_fock: PooledVec<f64> = PooledVec::new();
+    fock.to_host_into(&mut device_fock);
     let fock_max_abs_error =
-        compare_slices(&fock.to_host(), &expected_fock, 1e-9).map_err(|msg| {
+        compare_slices(&device_fock, &plan.expected_fock, 1e-9).map_err(|msg| {
             SimError::InvalidParameter(format!("sampled Hartree-Fock validation failed: {msg}"))
         })?;
 

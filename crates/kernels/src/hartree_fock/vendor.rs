@@ -7,11 +7,11 @@
 use super::config::HartreeFockConfig;
 use super::cost::hartree_fock_cost;
 use super::geometry::HeliumSystem;
-use super::reference::{quartet_eri, reference_fock};
+use super::reference::quartet_eri;
 use super::triangular::pair_decode;
 use crate::cache;
 use crate::common::{compare_slices, Verification, WorkloadRun};
-use gpu_sim::{launch_flat, Device, SimError};
+use gpu_sim::{istr, istr_fmt, launch_flat, PooledVec, SimError};
 use vendor_models::{heuristics, KernelClass, Platform};
 
 /// Runs the vendor-baseline Hartree–Fock kernel on `platform`.
@@ -26,23 +26,23 @@ pub fn run_vendor(
         ngauss: config.ngauss,
     };
     let profile = platform.execution_profile(&class);
-    let timing = platform.timing_model().estimate(&cost, &profile);
+    let timing = cache::timing_model(platform).estimate(&cost, &profile);
 
     let verification = if config.should_execute() {
         execute(platform, config, &system)?
     } else {
         Verification::Skipped {
-            reason: format!(
+            reason: istr_fmt(format_args!(
                 "natoms = {} exceeds the functional-execution limit; cost model only",
                 config.natoms
-            ),
+            )),
         }
     };
 
     Ok(WorkloadRun {
         backend: profile.backend.clone(),
-        device: platform.spec.name.clone(),
-        kernel: "hartree_fock".to_string(),
+        device: istr(&platform.spec.name),
+        kernel: istr("hartree_fock"),
         cost,
         profile,
         timing,
@@ -56,7 +56,7 @@ fn execute(
     system: &HeliumSystem,
 ) -> Result<Verification, SimError> {
     let natoms = system.natoms;
-    let device = Device::new(platform.spec.clone());
+    let device = cache::device(platform);
     let dens = device.alloc_from_host(&system.dens)?;
     let fock = device.alloc::<f64>(natoms * natoms)?;
     let schwarz = device.alloc_from_host(&system.schwarz)?;
@@ -89,8 +89,9 @@ fn execute(
         fock_k.atomic_add(at(j, l), dens_k.read(at(i, k)) * -eri);
     });
 
-    let expected = reference_fock(system, tol);
-    let actual = fock.copy_to_host();
+    let expected = cache::hartree_fock_reference(config);
+    let mut actual: PooledVec<f64> = PooledVec::new();
+    fock.copy_to_host_into(&mut actual);
     match compare_slices(&actual, &expected, 1e-9) {
         Ok(max_abs_error) => Ok(Verification::Passed { max_abs_error }),
         Err(msg) => Err(SimError::InvalidParameter(format!(

@@ -6,7 +6,7 @@ use crate::workload::{
     check_int_range, paper_platform_pairs, Measurement, ParamSpec, Params, Workload, WorkloadError,
     WorkloadOutput,
 };
-use vendor_models::Platform;
+use gpu_sim::{istr, istr_fmt, PooledVec};
 
 /// Resolves the `ngauss` parameter: `0` (the default) selects the paper's
 /// pairing of 6 Gaussians at 1024+ atoms and 3 below.
@@ -86,9 +86,9 @@ impl Workload for HartreeFockWorkload {
     fn run(&self, params: &Params) -> Result<WorkloadOutput, WorkloadError> {
         self.validate(params)?;
         let config = config(params)?;
-        let mut measurements = Vec::new();
+        let mut measurements = PooledVec::new();
         for platform in paper_platform_pairs() {
-            let run = super::run(&platform, &config)?;
+            let run = super::run(platform, &config)?;
             let fom = run.millis();
             measurements.push(Measurement::from_run(&run, fom));
         }
@@ -151,30 +151,33 @@ impl Workload for HartreeFockSampledWorkload {
     fn run(&self, params: &Params) -> Result<WorkloadOutput, WorkloadError> {
         self.validate(params)?;
         let config = config(params)?;
-        let platform = Platform::portable_h100();
+        // The portable H100 platform, shared with the timing workloads.
+        let platform = &paper_platform_pairs()[0];
         let report = run_sampled(
-            &platform,
+            platform,
             &config,
             params.int("samples"),
             params.int("shards"),
         )?;
         let measurement = Measurement {
-            device: platform.spec.name.clone(),
-            backend: platform.backend.label().to_string(),
-            kernel: "hartree_fock_sampled".to_string(),
+            device: istr(&platform.spec.name),
+            backend: istr(platform.backend.label()),
+            kernel: istr("hartree_fock_sampled"),
             seconds: 0.0,
             fom: report.estimated_survivors as f64,
-            verification: format!(
+            verification: istr_fmt(format_args!(
                 "passed(eri={:.3e},fock={:.3e},exact_survivors={},estimate_err={:.2}%)",
                 report.eri_max_abs_error,
                 report.fock_max_abs_error,
                 report.exact_survivors,
                 report.survivor_estimate_error() * 100.0
-            ),
+            )),
         };
+        let mut measurements = PooledVec::new();
+        measurements.push(measurement);
         Ok(WorkloadOutput {
             params: params.clone(),
-            measurements: vec![measurement],
+            measurements,
         })
     }
 }

@@ -10,10 +10,10 @@
 
 use super::config::MiniBudeConfig;
 use super::cost::fasten_cost;
-use super::reference::{pair_energy, reference_energies, transform_point, HALF};
+use super::reference::{pair_energy, transform_point, HALF};
 use crate::cache;
 use crate::common::{compare_slices_f32, Verification, WorkloadRun};
-use gpu_sim::SimError;
+use gpu_sim::{istr, SimError};
 use portable_kernel::prelude::*;
 use vendor_models::{heuristics, KernelClass, Platform};
 
@@ -25,20 +25,20 @@ pub fn run_portable(platform: &Platform, config: &MiniBudeConfig) -> Result<Work
         wg: config.wg,
     };
     let profile = platform.execution_profile(&class);
-    let timing = platform.timing_model().estimate(&cost, &profile);
+    let timing = cache::timing_model(platform).estimate(&cost, &profile);
 
     let verification = if config.should_execute() {
         execute(platform, config)?
     } else {
         Verification::Skipped {
-            reason: "functional execution disabled (executed_poses = 0)".to_string(),
+            reason: istr("functional execution disabled (executed_poses = 0)"),
         }
     };
 
     Ok(WorkloadRun {
         backend: profile.backend.clone(),
-        device: platform.spec.name.clone(),
-        kernel: "fasten".to_string(),
+        device: istr(&platform.spec.name),
+        kernel: istr("fasten"),
         cost,
         profile,
         timing,
@@ -125,8 +125,9 @@ fn fasten_kernel<const PPWI: usize>(t: ThreadCtx, args: &FastenArgs) {
 
 fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification, SimError> {
     let deck = cache::minibude_deck(config);
+    let flats = cache::minibude_flats(config);
     let nposes = config.executed_poses;
-    let ctx = DeviceContext::new(platform.spec.clone());
+    let ctx = DeviceContext::from_device(cache::device(platform));
 
     let make_tensor = |data: &[f32]| -> Result<LayoutTensor<f32>, SimError> {
         LayoutTensor::new(
@@ -136,9 +137,9 @@ fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification,
     };
 
     let args = FastenArgs {
-        protein: make_tensor(&deck.protein_flat())?,
-        ligand: make_tensor(&deck.ligand_flat())?,
-        forcefield: make_tensor(&deck.forcefield_flat())?,
+        protein: make_tensor(&flats.protein)?,
+        ligand: make_tensor(&flats.ligand)?,
+        forcefield: make_tensor(&flats.forcefield)?,
         transforms: [
             make_tensor(&deck.transforms[0][..nposes])?,
             make_tensor(&deck.transforms[1][..nposes])?,
@@ -160,8 +161,9 @@ fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification,
     dispatch_ppwi(&ctx, launch, config.ppwi, &args)?;
     ctx.synchronize();
 
-    let expected = reference_energies(&deck, nposes);
-    let actual = args.etotals.to_host();
+    let expected = cache::minibude_reference(config);
+    let mut actual: PooledVec<f32> = PooledVec::new();
+    args.etotals.to_host_into(&mut actual);
     // The kernel computes the same f32 expression sequence as the reference,
     // but the summation order over ligand atoms can differ in optimised
     // builds, so allow a small relative tolerance.

@@ -7,11 +7,11 @@
 
 use super::config::MiniBudeConfig;
 use super::cost::fasten_cost;
-use super::reference::{pair_energy, reference_energies, transform_point, HALF};
+use super::reference::{pair_energy, transform_point, HALF};
 use crate::cache;
 use crate::common::{compare_slices_f32, Verification, WorkloadRun};
 use gpu_sim::memory::DeviceBuffer;
-use gpu_sim::{launch_flat, Device, SimError};
+use gpu_sim::{istr, launch_flat, PooledVec, SimError};
 use vendor_models::{heuristics, KernelClass, Platform};
 
 /// Upper bound on PPWI supported by the baseline's register array.
@@ -25,20 +25,20 @@ pub fn run_vendor(platform: &Platform, config: &MiniBudeConfig) -> Result<Worklo
         wg: config.wg,
     };
     let profile = platform.execution_profile(&class);
-    let timing = platform.timing_model().estimate(&cost, &profile);
+    let timing = cache::timing_model(platform).estimate(&cost, &profile);
 
     let verification = if config.should_execute() {
         execute(platform, config)?
     } else {
         Verification::Skipped {
-            reason: "functional execution disabled (executed_poses = 0)".to_string(),
+            reason: istr("functional execution disabled (executed_poses = 0)"),
         }
     };
 
     Ok(WorkloadRun {
         backend: profile.backend.clone(),
-        device: platform.spec.name.clone(),
-        kernel: "fasten".to_string(),
+        device: istr(&platform.spec.name),
+        kernel: istr("fasten"),
         cost,
         profile,
         timing,
@@ -55,15 +55,21 @@ fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification,
         )));
     }
     let deck = cache::minibude_deck(config);
+    let flats = cache::minibude_flats(config);
     let nposes = config.executed_poses;
-    let device = Device::new(platform.spec.clone());
+    let device = cache::device(platform);
 
-    let protein: DeviceBuffer<f32> = device.alloc_from_host(&deck.protein_flat())?;
-    let ligand: DeviceBuffer<f32> = device.alloc_from_host(&deck.ligand_flat())?;
-    let forcefield: DeviceBuffer<f32> = device.alloc_from_host(&deck.forcefield_flat())?;
-    let transforms: Vec<DeviceBuffer<f32>> = (0..6)
-        .map(|axis| device.alloc_from_host(&deck.transforms[axis][..nposes]))
-        .collect::<Result<_, _>>()?;
+    let protein: DeviceBuffer<f32> = device.alloc_from_host(&flats.protein)?;
+    let ligand: DeviceBuffer<f32> = device.alloc_from_host(&flats.ligand)?;
+    let forcefield: DeviceBuffer<f32> = device.alloc_from_host(&flats.forcefield)?;
+    let transforms: [DeviceBuffer<f32>; 6] = [
+        device.alloc_from_host(&deck.transforms[0][..nposes])?,
+        device.alloc_from_host(&deck.transforms[1][..nposes])?,
+        device.alloc_from_host(&deck.transforms[2][..nposes])?,
+        device.alloc_from_host(&deck.transforms[3][..nposes])?,
+        device.alloc_from_host(&deck.transforms[4][..nposes])?,
+        device.alloc_from_host(&deck.transforms[5][..nposes])?,
+    ];
     let etotals: DeviceBuffer<f32> = device.alloc::<f32>(nposes)?;
 
     let launch = heuristics::bude_launch(nposes as u64, config.ppwi, config.wg);
@@ -147,8 +153,9 @@ fn execute(platform: &Platform, config: &MiniBudeConfig) -> Result<Verification,
         }
     });
 
-    let expected = reference_energies(&deck, nposes);
-    let actual = etotals.copy_to_host();
+    let expected = cache::minibude_reference(config);
+    let mut actual: PooledVec<f32> = PooledVec::new();
+    etotals.copy_to_host_into(&mut actual);
     match compare_slices_f32(&actual, &expected, 2e-3) {
         Ok(max_abs_error) => Ok(Verification::Passed { max_abs_error }),
         Err(msg) => Err(SimError::InvalidParameter(format!(

@@ -7,6 +7,7 @@ use crate::workload::{
     check_int_range, paper_platform_pairs, Measurement, ParamSpec, Params, Workload, WorkloadError,
     WorkloadOutput,
 };
+use gpu_sim::PooledVec;
 use hpc_metrics::{minibude_gflops, MiniBudeSizes};
 
 /// The synthetic-deck seed every preset shares (the deck shape, not its
@@ -89,9 +90,9 @@ impl Workload for MiniBudeWorkload {
             poses: config.nposes as u64,
             ppwi: config.ppwi as u64,
         };
-        let mut measurements = Vec::new();
+        let mut measurements = PooledVec::new();
         for platform in paper_platform_pairs() {
-            let run = super::run(&platform, &config)?;
+            let run = super::run(platform, &config)?;
             let fom = minibude_gflops(&sizes, run.seconds());
             measurements.push(Measurement::from_run(&run, fom));
         }

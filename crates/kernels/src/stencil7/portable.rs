@@ -8,11 +8,10 @@
 
 use super::config::StencilConfig;
 use super::cost::stencil_cost;
-use super::reference::reference_laplacian;
 use crate::cache;
-use crate::common::{compare_slices, Verification, WorkloadRun};
+use crate::common::{compare_with_reference, Verification, WorkloadRun};
 use crate::real::Real;
-use gpu_sim::SimError;
+use gpu_sim::{istr, istr_fmt, SimError};
 use portable_kernel::prelude::*;
 use vendor_models::{heuristics, KernelClass, Platform};
 
@@ -51,7 +50,7 @@ pub fn run_portable(platform: &Platform, config: &StencilConfig) -> Result<Workl
         precision: config.precision,
     };
     let profile = platform.execution_profile(&class);
-    let timing = platform.timing_model().estimate(&cost, &profile);
+    let timing = cache::timing_model(platform).estimate(&cost, &profile);
 
     let verification = if config.should_execute() {
         match config.precision {
@@ -60,17 +59,17 @@ pub fn run_portable(platform: &Platform, config: &StencilConfig) -> Result<Workl
         }
     } else {
         Verification::Skipped {
-            reason: format!(
+            reason: istr_fmt(format_args!(
                 "L = {} exceeds the functional-execution limit; cost model only",
                 config.l
-            ),
+            )),
         }
     };
 
     Ok(WorkloadRun {
         backend: profile.backend.clone(),
-        device: platform.spec.name.clone(),
-        kernel: "laplacian".to_string(),
+        device: istr(&platform.spec.name),
+        kernel: istr("laplacian"),
         cost,
         profile,
         timing,
@@ -78,15 +77,17 @@ pub fn run_portable(platform: &Platform, config: &StencilConfig) -> Result<Workl
     })
 }
 
-fn execute<T: Real>(platform: &Platform, config: &StencilConfig) -> Result<Verification, SimError> {
+fn execute<T: Real + cache::StencilGridCache>(
+    platform: &Platform,
+    config: &StencilConfig,
+) -> Result<Verification, SimError> {
     let l = config.l;
     let layout = Layout::row_major_3d(l, l, l);
     let (invhx2, invhy2, invhz2, invhxyz2) = config.coefficients();
 
-    let u_host_f64 = cache::stencil_grid(config);
-    let u_host: Vec<T> = u_host_f64.iter().map(|&v| T::from_f64(v)).collect();
+    let u_host = T::cached_stencil_grid(config);
 
-    let ctx = DeviceContext::new(platform.spec.clone());
+    let ctx = DeviceContext::from_device(cache::device(platform));
     let d_u = ctx.enqueue_create_buffer_from(&u_host)?;
     let d_f = ctx.enqueue_create_buffer::<T>(l * l * l)?;
     let u_tensor = LayoutTensor::new(d_u, layout)?;
@@ -105,11 +106,12 @@ fn execute<T: Real>(platform: &Platform, config: &StencilConfig) -> Result<Verif
     })?;
     ctx.synchronize();
 
-    // The reference is computed at the working precision's inputs but in f64
+    // The reference is computed from the full-precision grid in f64
     // arithmetic; the tolerance accounts for the difference.
-    let expected = reference_laplacian(config, &u_host_f64);
-    let actual: Vec<f64> = f_tensor.to_host().iter().map(|&v| v.to_f64()).collect();
-    match compare_slices(&actual, &expected, T::tolerance()) {
+    let expected = cache::stencil_reference(config);
+    let mut actual: PooledVec<T> = PooledVec::new();
+    f_tensor.to_host_into(&mut actual);
+    match compare_with_reference(&actual, &expected, T::tolerance()) {
         Ok(max_abs_error) => Ok(Verification::Passed { max_abs_error }),
         Err(msg) => Err(SimError::InvalidParameter(format!(
             "stencil verification failed: {msg}"

@@ -10,11 +10,10 @@
 
 use super::config::StencilConfig;
 use super::cost::stencil_cost;
-use super::reference::reference_laplacian;
 use crate::cache;
-use crate::common::{compare_slices, Verification, WorkloadRun};
+use crate::common::{compare_with_reference, Verification, WorkloadRun};
 use crate::real::Real;
-use gpu_sim::{launch_flat, Device, SimError};
+use gpu_sim::{istr, istr_fmt, launch_flat, PooledVec, SimError};
 use vendor_models::{heuristics, KernelClass, Platform};
 
 /// Runs the vendor-baseline stencil on `platform` (CUDA on NVIDIA, HIP on AMD).
@@ -24,7 +23,7 @@ pub fn run_vendor(platform: &Platform, config: &StencilConfig) -> Result<Workloa
         precision: config.precision,
     };
     let profile = platform.execution_profile(&class);
-    let timing = platform.timing_model().estimate(&cost, &profile);
+    let timing = cache::timing_model(platform).estimate(&cost, &profile);
 
     let verification = if config.should_execute() {
         match config.precision {
@@ -33,17 +32,17 @@ pub fn run_vendor(platform: &Platform, config: &StencilConfig) -> Result<Workloa
         }
     } else {
         Verification::Skipped {
-            reason: format!(
+            reason: istr_fmt(format_args!(
                 "L = {} exceeds the functional-execution limit; cost model only",
                 config.l
-            ),
+            )),
         }
     };
 
     Ok(WorkloadRun {
         backend: profile.backend.clone(),
-        device: platform.spec.name.clone(),
-        kernel: "laplacian".to_string(),
+        device: istr(&platform.spec.name),
+        kernel: istr("laplacian"),
         cost,
         profile,
         timing,
@@ -51,13 +50,15 @@ pub fn run_vendor(platform: &Platform, config: &StencilConfig) -> Result<Workloa
     })
 }
 
-fn execute<T: Real>(platform: &Platform, config: &StencilConfig) -> Result<Verification, SimError> {
+fn execute<T: Real + cache::StencilGridCache>(
+    platform: &Platform,
+    config: &StencilConfig,
+) -> Result<Verification, SimError> {
     let l = config.l;
     let (invhx2, invhy2, invhz2, invhxyz2) = config.coefficients();
-    let u_host_f64 = cache::stencil_grid(config);
-    let u_host: Vec<T> = u_host_f64.iter().map(|&v| T::from_f64(v)).collect();
+    let u_host = T::cached_stencil_grid(config);
 
-    let device = Device::new(platform.spec.clone());
+    let device = cache::device(platform);
     let d_u = device.alloc_from_host(&u_host)?;
     let d_f = device.alloc::<T>(l * l * l)?;
 
@@ -86,9 +87,10 @@ fn execute<T: Real>(platform: &Platform, config: &StencilConfig) -> Result<Verif
         }
     });
 
-    let expected = reference_laplacian(config, &u_host_f64);
-    let actual: Vec<f64> = d_f.copy_to_host().iter().map(|&v| v.to_f64()).collect();
-    match compare_slices(&actual, &expected, T::tolerance()) {
+    let expected = cache::stencil_reference(config);
+    let mut actual: PooledVec<T> = PooledVec::new();
+    d_f.copy_to_host_into(&mut actual);
+    match compare_with_reference(&actual, &expected, T::tolerance()) {
         Ok(max_abs_error) => Ok(Verification::Passed { max_abs_error }),
         Err(msg) => Err(SimError::InvalidParameter(format!(
             "vendor stencil verification failed: {msg}"

@@ -6,6 +6,7 @@ use crate::workload::{
     check_int_range, paper_platform_pairs, Measurement, ParamSpec, Params, Workload, WorkloadError,
     WorkloadOutput,
 };
+use gpu_sim::PooledVec;
 use gpu_spec::Precision;
 use hpc_metrics::stencil_bandwidth_gbs;
 
@@ -80,9 +81,9 @@ impl Workload for StencilWorkload {
     fn run(&self, params: &Params) -> Result<WorkloadOutput, WorkloadError> {
         self.validate(params)?;
         let config = config(params)?;
-        let mut measurements = Vec::new();
+        let mut measurements = PooledVec::new();
         for platform in paper_platform_pairs() {
-            let run = super::run(&platform, &config)?;
+            let run = super::run(platform, &config)?;
             let fom = stencil_bandwidth_gbs(config.l as u64, config.precision, run.seconds());
             measurements.push(Measurement::from_run(&run, fom));
         }

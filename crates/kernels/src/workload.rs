@@ -19,8 +19,9 @@
 //! | `hartree-fock-sampled` | [`crate::hartree_fock`] (sampled) | `estimated_survivors` | `atoms` |
 
 use crate::common::{Verification, WorkloadRun};
-use gpu_sim::SimError;
+use gpu_sim::{istr, istr_fmt, IStr, PooledVec, SimError};
 use std::fmt;
+use std::sync::OnceLock;
 use vendor_models::Platform;
 
 /// A typed parameter value: workloads are tuned by unsigned integers
@@ -29,14 +30,20 @@ use vendor_models::Platform;
 pub enum ParamValue {
     /// An unsigned integer parameter.
     Int(u64),
-    /// A keyword parameter, stored lowercase.
-    Text(String),
+    /// A keyword parameter, stored lowercase. Interned: keywords come from a
+    /// small fixed vocabulary, so cloning an assignment never allocates.
+    Text(IStr),
 }
 
 impl ParamValue {
-    /// A keyword value (lowercased on construction).
+    /// A keyword value (lowercased on construction). Already-lowercase input
+    /// — the steady-state case — interns without an intermediate copy.
     pub fn text(s: &str) -> ParamValue {
-        ParamValue::Text(s.to_ascii_lowercase())
+        if s.bytes().any(|b| b.is_ascii_uppercase()) {
+            ParamValue::Text(istr(&s.to_ascii_lowercase()))
+        } else {
+            ParamValue::Text(istr(s))
+        }
     }
 }
 
@@ -119,7 +126,7 @@ impl From<SimError> for WorkloadError {
 /// and the encoding round-trips through [`Params::apply_encoding`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Params {
-    values: Vec<(&'static str, ParamValue)>,
+    values: PooledVec<(&'static str, ParamValue)>,
 }
 
 impl Params {
@@ -223,21 +230,23 @@ impl Params {
 }
 
 /// One measured data point of a workload run: one kernel on one platform.
+/// Every string field is interned, so building and cloning rows on the sweep
+/// hot path is allocation-free once the label vocabulary is warm.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Device name (e.g. "NVIDIA H100 NVL - 94 GB").
-    pub device: String,
+    pub device: IStr,
     /// Backend label ("Mojo", "CUDA", "HIP", …).
-    pub backend: String,
+    pub backend: IStr,
     /// Kernel name within the workload ("laplacian", "Triad", …).
-    pub kernel: String,
+    pub kernel: IStr,
     /// Simulated kernel duration in seconds (0 when the scenario has no
     /// timing model, e.g. the sampled Hartree–Fock validation).
     pub seconds: f64,
     /// The workload's figure of merit (see [`Workload::fom_label`]).
     pub fom: f64,
     /// Rendered verification outcome (`passed(…)` / `skipped(…)`).
-    pub verification: String,
+    pub verification: IStr,
 }
 
 impl Measurement {
@@ -254,13 +263,15 @@ impl Measurement {
     }
 }
 
-/// Renders a verification outcome as a short deterministic token.
-pub fn render_verification(verification: &Verification) -> String {
+/// Renders a verification outcome as a short deterministic token. Interned:
+/// repeated runs of a deterministic workload produce the same token, so the
+/// steady state is a lookup, not an allocation.
+pub fn render_verification(verification: &Verification) -> IStr {
     match verification {
         Verification::Passed { max_abs_error } => {
-            format!("passed(max_abs_err={max_abs_error:.3e})")
+            istr_fmt(format_args!("passed(max_abs_err={max_abs_error:.3e})"))
         }
-        Verification::Skipped { reason } => format!("skipped({reason})"),
+        Verification::Skipped { reason } => istr_fmt(format_args!("skipped({reason})")),
     }
 }
 
@@ -269,8 +280,9 @@ pub fn render_verification(verification: &Verification) -> String {
 pub struct WorkloadOutput {
     /// The fully resolved parameter assignment that produced the rows.
     pub params: Params,
-    /// One row per (platform, kernel) pair, in deterministic order.
-    pub measurements: Vec<Measurement>,
+    /// One row per (platform, kernel) pair, in deterministic order, in
+    /// pooled storage so repeated runs recycle the row buffer.
+    pub measurements: PooledVec<Measurement>,
 }
 
 /// A parameterizable scenario engine wrapping one kernel family's drivers.
@@ -335,14 +347,18 @@ pub fn check_int_range(
 
 /// The portable-vs-vendor platform set every timing workload measures, in
 /// presentation order: Mojo and the vendor baseline on the H100, then on the
-/// MI300A — the pairs the paper's figures compare.
-pub fn paper_platform_pairs() -> [Platform; 4] {
-    [
-        Platform::portable_h100(),
-        Platform::cuda_h100(false),
-        Platform::portable_mi300a(),
-        Platform::hip_mi300a(false),
-    ]
+/// MI300A — the pairs the paper's figures compare. Built once: every run of
+/// every workload iterates this set, and a `Platform` owns its spec.
+pub fn paper_platform_pairs() -> &'static [Platform; 4] {
+    static PAIRS: OnceLock<[Platform; 4]> = OnceLock::new();
+    PAIRS.get_or_init(|| {
+        [
+            Platform::portable_h100(),
+            Platform::cuda_h100(false),
+            Platform::portable_mi300a(),
+            Platform::hip_mi300a(false),
+        ]
+    })
 }
 
 /// Every registered workload, in presentation order.
@@ -427,7 +443,7 @@ mod tests {
             "passed(max_abs_err=1.250e-12)"
         );
         let skipped = Verification::Skipped {
-            reason: "too large".to_string(),
+            reason: istr("too large"),
         };
         assert_eq!(render_verification(&skipped), "skipped(too large)");
     }

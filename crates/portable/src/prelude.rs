@@ -9,4 +9,4 @@ pub use crate::layout::Layout;
 pub use crate::simd::Simd;
 pub use crate::tensor::{HostTensor, LayoutTensor};
 pub use gpu_sim::memory::{DeviceBuffer, DeviceScalar};
-pub use gpu_sim::{CoopKernel, Dim3, LaunchConfig, PhaseOutcome, SimError, ThreadCtx};
+pub use gpu_sim::{CoopKernel, Dim3, LaunchConfig, PhaseOutcome, PooledVec, SimError, ThreadCtx};

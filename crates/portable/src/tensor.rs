@@ -9,7 +9,7 @@
 
 use crate::layout::Layout;
 use gpu_sim::memory::{DeviceBuffer, DeviceScalar};
-use gpu_sim::{SimError, UnsafeSlice};
+use gpu_sim::{PooledVec, SimError, UnsafeSlice};
 
 /// A layout-aware view over a device buffer.
 #[derive(Debug, Clone)]
@@ -92,6 +92,17 @@ impl<T: DeviceScalar> LayoutTensor<T> {
         (0..self.layout.len())
             .map(|i| self.buffer.read(i))
             .collect()
+    }
+
+    /// Copies the covered elements into a pooled host vector, reusing its
+    /// capacity — the steady-state replacement for [`LayoutTensor::to_host`]
+    /// on hot verification paths.
+    pub fn to_host_into(&self, out: &mut PooledVec<T>) {
+        out.clear();
+        out.reserve(self.layout.len());
+        for i in 0..self.layout.len() {
+            out.push(self.buffer.read(i));
+        }
     }
 
     /// Copies host data into the covered elements.

@@ -20,8 +20,9 @@
 //!   command's work items and print a partial-report shard document;
 //! * `diff <dir-a> <dir-b>` — byte-compare the `.csv` and `.json` report
 //!   files of two directories;
-//! * `bench-diff <a> <b>` — compare bench JSON records (dispatched by the
-//!   binary to the bench crate; only parsed here).
+//! * `bench-diff <a> <b> [--max-regression PCT]` — compare bench JSON
+//!   records, optionally failing on mean-time regressions beyond PCT percent
+//!   (dispatched by the binary to the bench crate; only parsed here).
 //!
 //! Exit codes: `0` success, `1` difference found or validation failed, `2`
 //! usage error. All diagnostics go to stderr; stdout carries only the
@@ -87,6 +88,10 @@ pub enum Command {
         baseline: PathBuf,
         /// Compared record or directory.
         current: PathBuf,
+        /// Fail (exit 1) when any benchmark's mean slowed down by more than
+        /// this fraction (`--max-regression 10` = +10%); `None` keeps the
+        /// comparison informational.
+        max_regression: Option<f64>,
     },
     /// `help` / `--help`.
     Help,
@@ -179,6 +184,7 @@ USAGE:
   mojo-hpc shard (run|sweep) <run/sweep arguments> --workers N
   mojo-hpc diff <dir-a> <dir-b>
   mojo-hpc bench-diff <baseline.json|dir> <current.json|dir>
+                            [--max-regression PCT]
   mojo-hpc help
 
 Experiment and sweep renderings go to stdout (byte-identical at every
@@ -187,7 +193,10 @@ Experiment and sweep renderings go to stdout (byte-identical at every
 names every workload with its tunable parameters and defaults; `--sizes`
 sweeps the workload's size parameter and `key=value` pins any other.
 `--preset-out` saves a resolved sweep configuration to a file; `--preset`
-replays it.
+replays it. `bench-diff --max-regression PCT` turns the comparison into a
+gate: exit 1 when any benchmark's mean slowed down by more than PCT percent.
+`run` and `sweep` report the buffer-pool's hit rate and traffic on stderr
+after each invocation.
 
 SCALE-OUT (DESIGN.md \u{a7}10): `mojo-hpc shard run|sweep ... --workers N`
 spawns N worker subprocesses of this binary, partitions the command's work
@@ -222,13 +231,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let [a, b] = two_paths("diff", &rest)?;
             Ok(Command::Diff { dir_a: a, dir_b: b })
         }
-        "bench-diff" => {
-            let [a, b] = two_paths("bench-diff", &rest)?;
-            Ok(Command::BenchDiff {
-                baseline: a,
-                current: b,
-            })
-        }
+        "bench-diff" => parse_bench_diff(&rest),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -247,6 +250,40 @@ fn two_paths(subcommand: &str, rest: &[&str]) -> Result<[PathBuf; 2], String> {
         [a, b] => Ok([PathBuf::from(a), PathBuf::from(b)]),
         _ => Err(format!("'{subcommand}' takes exactly two paths")),
     }
+}
+
+/// Parses `bench-diff <a> <b> [--max-regression PCT]`. The percentage is
+/// stored as a fraction (10 → 0.10) and must be non-negative.
+fn parse_bench_diff(rest: &[&str]) -> Result<Command, String> {
+    let mut paths = Vec::new();
+    let mut max_regression = None;
+    let mut args = rest.iter().copied();
+    while let Some(arg) = args.next() {
+        match arg {
+            "--max-regression" => {
+                let value = flag_value("--max-regression", &mut args)?;
+                let pct: f64 = parse_number("--max-regression", value)?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!(
+                        "--max-regression: expected a non-negative percentage, got '{value}'"
+                    ));
+                }
+                max_regression = Some(pct / 100.0);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown 'bench-diff' argument '{flag}'"))
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline, current]: [PathBuf; 2] = paths
+        .try_into()
+        .map_err(|_| "'bench-diff' takes exactly two paths".to_string())?;
+    Ok(Command::BenchDiff {
+        baseline,
+        current,
+        max_regression,
+    })
 }
 
 /// Parses the value of a `--flag VALUE` pair.
@@ -534,6 +571,23 @@ fn apply_threads(threads: Option<usize>) {
     }
 }
 
+/// Reports the buffer-pool activity since `before` on stderr — stdout stays
+/// byte-identical to the golden renderings (DESIGN.md §11 telemetry).
+fn report_pool_telemetry(before: &gpu_sim::PoolStats) {
+    let delta = gpu_sim::pool::stats().since(before);
+    if delta.checkouts == 0 {
+        return;
+    }
+    eprintln!(
+        "pool: {} checkout(s), {:.1}% hit rate, {} B recycled, {} B fresh, high water {} B",
+        delta.checkouts,
+        delta.hit_rate() * 100.0,
+        delta.recycled_bytes,
+        delta.fresh_bytes,
+        gpu_sim::pool::stats().high_water_bytes,
+    );
+}
+
 /// Executes a parsed command, returning the process exit code.
 ///
 /// `BenchDiff` is not handled here — the bench crate sits above this one, so
@@ -641,7 +695,9 @@ fn execute_run(args: &RunArgs) -> i32 {
     }
     let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
     let started = std::time::Instant::now();
+    let pool_before = gpu_sim::pool::stats();
     let reports = run_experiments(&args.ids);
+    report_pool_telemetry(&pool_before);
     let code = emit_run_reports(&reports, args.format, &out_dir);
     if code != 0 {
         return code;
@@ -733,6 +789,7 @@ fn execute_sweep(args: &SweepArgs) -> i32 {
         return execute_sweep_shard_worker(&spec, shard_spec);
     }
     let started = std::time::Instant::now();
+    let pool_before = gpu_sim::pool::stats();
     let report = match run_sweep(&spec) {
         Ok(report) => report,
         Err(err) => {
@@ -740,6 +797,7 @@ fn execute_sweep(args: &SweepArgs) -> i32 {
             return 1;
         }
     };
+    report_pool_telemetry(&pool_before);
     let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
     let code = emit_sweep_report(&report, args.format, &out_dir);
     if code != 0 {
@@ -1131,10 +1189,33 @@ mod tests {
             parse_line("diff a b").unwrap(),
             Command::Diff { .. }
         ));
-        assert!(matches!(
-            parse_line("bench-diff a.json b.json").unwrap(),
-            Command::BenchDiff { .. }
-        ));
+        match parse_line("bench-diff a.json b.json").unwrap() {
+            Command::BenchDiff { max_regression, .. } => assert_eq!(max_regression, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bench_diff_regression_gate() {
+        match parse_line("bench-diff a.json b.json --max-regression 10").unwrap() {
+            Command::BenchDiff { max_regression, .. } => {
+                assert!((max_regression.unwrap() - 0.10).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The flag may appear anywhere; fractional percentages are fine.
+        match parse_line("bench-diff --max-regression 2.5 a b").unwrap() {
+            Command::BenchDiff { max_regression, .. } => {
+                assert!((max_regression.unwrap() - 0.025).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_line("bench-diff a b --max-regression").is_err());
+        assert!(parse_line("bench-diff a b --max-regression -5").is_err());
+        assert!(parse_line("bench-diff a b --max-regression nope").is_err());
+        assert!(parse_line("bench-diff a b c").is_err());
+        assert!(parse_line("bench-diff a").is_err());
+        assert!(parse_line("bench-diff a b --frobnicate").is_err());
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub fn run() -> ExperimentReport {
     ]);
     for mix in [&cmp.portable, &cmp.vendor] {
         csv.push_row([
-            mix.backend.clone(),
+            mix.backend.to_string(),
             format!("{}", mix.ldg),
             format!("{}", mix.stg),
             format!("{}", mix.ldc),

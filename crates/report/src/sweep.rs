@@ -204,12 +204,12 @@ fn render_sweep(spec: &SweepSpec, outputs: &[WorkloadOutput]) -> ExperimentRepor
                 engine.name().to_string(),
                 size.to_string(),
                 encoding.clone(),
-                m.device.clone(),
-                m.backend.clone(),
-                m.kernel.clone(),
+                m.device.to_string(),
+                m.backend.to_string(),
+                m.kernel.to_string(),
                 format!("{}", m.seconds),
                 format!("{}", m.fom),
-                m.verification.clone(),
+                m.verification.to_string(),
             ]);
         }
     }

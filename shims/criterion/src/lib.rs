@@ -10,7 +10,10 @@
 //! On top of the console report, every finished group exports a
 //! machine-readable record to `target/bench/<group>.json` (schema documented
 //! on [`BenchmarkGroup::finish`]) so bench history can be tracked across
-//! commits by diffing or plotting the JSON trajectory.
+//! commits by diffing or plotting the JSON trajectory. Targets can attach
+//! named scalar counters to a group via [`BenchmarkGroup::counter`] (the
+//! bench crate uses this for buffer-pool telemetry); they land in a
+//! `"counters"` array of the record.
 //!
 //! Recognised command-line flags (as passed by `cargo bench -- <flags>`):
 //! `--test` (cargo's bench-as-test mode) and `--smoke` both reduce every
@@ -120,6 +123,7 @@ impl Criterion {
             sample_size: None,
             throughput: None,
             measurements: Vec::new(),
+            counters: Vec::new(),
         }
     }
 
@@ -158,6 +162,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: Option<usize>,
     throughput: Option<Throughput>,
     measurements: Vec<Measurement>,
+    counters: Vec<(String, u64)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -171,6 +176,19 @@ impl BenchmarkGroup<'_> {
     /// their reports gain an elements- or bytes-per-second rate.
     pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
         self.throughput = Some(throughput);
+        self
+    }
+
+    /// Records a named scalar counter on the group record (e.g. allocator or
+    /// cache telemetry gathered by the bench target around its runs). The
+    /// shim itself attaches no meaning to the name; counters land verbatim in
+    /// the group's JSON record. A repeated name overwrites the earlier value.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) -> &mut Self {
+        let name = name.into();
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.counters.push((name, value)),
+        }
         self
     }
 
@@ -239,15 +257,20 @@ impl BenchmarkGroup<'_> {
     ///       "throughput": { "kind": "elements"|"bytes", "amount": <u64>,
     ///                        "per_sec": <f64> } | null
     ///     }
-    ///   ]
+    ///   ],
+    ///   "counters": [ { "name": "<counter>", "value": <u64> } ]
     /// }
     /// ```
+    ///
+    /// `counters` holds whatever the target recorded via
+    /// [`BenchmarkGroup::counter`] (empty array when nothing was recorded);
+    /// readers written against the pre-counter schema can ignore the key.
     pub fn finish(self) {
         if self.measurements.is_empty() {
             return;
         }
         let path = bench_dir().join(format!("{}.json", self.name));
-        match write_json_record(&path, &self.name, &self.measurements) {
+        match write_json_record(&path, &self.name, &self.measurements, &self.counters) {
             Ok(()) => println!("criterion(shim): wrote {}", path.display()),
             Err(err) => eprintln!("criterion(shim): failed to write {}: {err}", path.display()),
         }
@@ -260,6 +283,7 @@ fn write_json_record(
     path: &std::path::Path,
     group: &str,
     measurements: &[Measurement],
+    counters: &[(String, u64)],
 ) -> std::io::Result<()> {
     let mut json = String::new();
     json.push_str("{\n");
@@ -290,7 +314,22 @@ fn write_json_record(
             "    }\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"counters\": [");
+    for (index, (name, value)) in counters.iter().enumerate() {
+        let sep = if index + 1 < counters.len() { "," } else { "" };
+        let _ = write!(
+            json,
+            "\n    {{ \"name\": {}, \"value\": {} }}{sep}",
+            json_string(name),
+            value
+        );
+    }
+    if counters.is_empty() {
+        json.push_str("]\n}\n");
+    } else {
+        json.push_str("\n  ]\n}\n");
+    }
 
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -365,6 +404,9 @@ mod tests {
             let mut group = c.benchmark_group("unit-shim-json");
             group.throughput(Throughput::Elements(1000));
             group.bench_function("spin", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+            group.counter("pool_hits", 41);
+            group.counter("pool_hits", 42); // overwrite, not duplicate
+            group.counter("pool_misses", 7);
             group.finish();
         }
         let path = bench_dir().join("unit-shim-json.json");
@@ -379,9 +421,29 @@ mod tests {
             "\"kind\": \"elements\"",
             "\"amount\": 1000",
             "\"per_sec\":",
+            "{ \"name\": \"pool_hits\", \"value\": 42 },",
+            "{ \"name\": \"pool_misses\", \"value\": 7 }",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+        assert!(
+            !json.contains("\"value\": 41 "),
+            "overwritten counter value leaked: {json}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn records_without_counters_emit_an_empty_array() {
+        let mut c = Criterion::default().sample_size(1);
+        {
+            let mut group = c.benchmark_group("unit-shim-nocounters");
+            group.bench_function("noop", |b| b.iter(|| black_box(1u64)));
+            group.finish();
+        }
+        let path = bench_dir().join("unit-shim-nocounters.json");
+        let json = std::fs::read_to_string(&path).expect("bench JSON written");
+        assert!(json.contains("\"counters\": []"), "{json}");
         std::fs::remove_file(&path).ok();
     }
 

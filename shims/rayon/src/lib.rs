@@ -159,8 +159,91 @@ where
     if len == 0 {
         return identity();
     }
+    if current_num_threads() == 1 {
+        return serial_chunk_reduce(len, identity, &|acc, i| op(acc, map(i)), op);
+    }
     let partials = chunk_partials(len, identity, &|acc, i| op(acc, map(i)));
     combine_pairwise(partials, op)
+}
+
+/// The serial lane shared by [`parallel_reduce`] and [`Fold::reduce`]: chunk
+/// partials are computed inline and merged through the allocation-free
+/// [`TreeCombiner`], so a warm reduction at one thread touches the global
+/// allocator zero times while returning the bit-for-bit same result as the
+/// pooled lane.
+fn serial_chunk_reduce<R, ID, FO, OP>(len: usize, seed: &ID, fold_op: &FO, op: &OP) -> R
+where
+    ID: Fn() -> R,
+    FO: Fn(R, usize) -> R,
+    OP: Fn(R, R) -> R,
+{
+    let mut combiner = TreeCombiner::new();
+    let mut start = 0;
+    while start < len {
+        let end = (start + REDUCE_CHUNK).min(len);
+        let mut acc = seed();
+        for i in start..end {
+            acc = fold_op(acc, i);
+        }
+        combiner.push(acc, op);
+        start = end;
+    }
+    combiner
+        .finish(op)
+        .expect("non-empty reduction lost its result")
+}
+
+/// An allocation-free combiner producing exactly the same association order as
+/// [`combine_pairwise`]'s level-order tree.
+///
+/// Partials are pushed in index order into a binary counter: level `k` holds
+/// the combined result of an aligned run of `2^k` consecutive partials, and
+/// pushing partial `i` performs one merge per trailing one-bit of `i`. The
+/// final sweep merges the surviving levels bottom-up with the earlier-index
+/// group always on the left — which reproduces, operation for operation, the
+/// pairing that the level-order tree performs (lower levels hold *later*
+/// partials, so they are right operands). The stack is a fixed array: no heap.
+struct TreeCombiner<R> {
+    levels: [Option<R>; usize::BITS as usize],
+    count: usize,
+}
+
+impl<R> TreeCombiner<R> {
+    fn new() -> Self {
+        TreeCombiner {
+            levels: std::array::from_fn(|_| None),
+            count: 0,
+        }
+    }
+
+    /// Pushes the next in-order partial, merging completed power-of-two runs.
+    fn push<OP: Fn(R, R) -> R>(&mut self, mut partial: R, op: &OP) {
+        let mut level = 0;
+        let mut mask = self.count;
+        while mask & 1 == 1 {
+            let left = self.levels[level].take().expect("combiner level vacant");
+            partial = op(left, partial);
+            mask >>= 1;
+            level += 1;
+        }
+        self.levels[level] = Some(partial);
+        self.count += 1;
+    }
+
+    /// Merges the surviving levels bottom-up (earlier-index group first) into
+    /// the final result; `None` when nothing was pushed.
+    fn finish<OP: Fn(R, R) -> R>(mut self, op: &OP) -> Option<R> {
+        let mut acc: Option<R> = None;
+        for level in 0..self.levels.len() {
+            if let Some(left) = self.levels[level].take() {
+                acc = Some(match acc {
+                    Some(right) => op(left, right),
+                    None => left,
+                });
+            }
+        }
+        acc
+    }
 }
 
 /// The fixed-chunk partial accumulators both deterministic lanes share: one
@@ -405,6 +488,14 @@ impl<I, ID, FO> Fold<I, ID, FO> {
         }
         let base = &self.base;
         let fold_op = &self.fold_op;
+        if current_num_threads() == 1 {
+            return serial_chunk_reduce(
+                len,
+                &self.identity,
+                &|acc, i| fold_op(acc, base.get(i)),
+                &op,
+            );
+        }
         let partials = chunk_partials(len, &self.identity, &|acc, i| fold_op(acc, base.get(i)));
         combine_pairwise(partials, &op)
     }
@@ -494,22 +585,24 @@ pub trait ParallelSliceMut<T: Send> {
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
-        ChunksMut {
-            chunks: self.chunks_mut(size).collect(),
-        }
+        ChunksMut { slice: self, size }
     }
 }
 
-/// Parallel iterator over mutable chunks.
+/// Parallel iterator over mutable chunks. Lazy: the slice is not split until
+/// a consuming call, and serial scopes iterate `chunks_mut` directly without
+/// allocating per-chunk cells.
 pub struct ChunksMut<'a, T> {
-    chunks: Vec<&'a mut [T]>,
+    slice: &'a mut [T],
+    size: usize,
 }
 
 impl<'a, T: Send> ChunksMut<'a, T> {
     /// Pairs every chunk with its index.
     pub fn enumerate(self) -> EnumeratedChunks<'a, T> {
         EnumeratedChunks {
-            chunks: self.chunks,
+            slice: self.slice,
+            size: self.size,
         }
     }
 
@@ -521,7 +614,8 @@ impl<'a, T: Send> ChunksMut<'a, T> {
 
 /// Enumerated parallel chunk iterator.
 pub struct EnumeratedChunks<'a, T> {
-    chunks: Vec<&'a mut [T]>,
+    slice: &'a mut [T],
+    size: usize,
 }
 
 impl<'a, T: Send> EnumeratedChunks<'a, T> {
@@ -529,16 +623,16 @@ impl<'a, T: Send> EnumeratedChunks<'a, T> {
     /// owned by exactly one pool task (moved out of a take-once cell), so the
     /// mutable borrows never alias.
     pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync + Send>(self, f: F) {
-        // Serial scopes run inline: skip the take-once cells entirely.
+        // Serial scopes run inline, splitting lazily: no cells, no heap.
         if current_num_threads() == 1 {
-            for pair in self.chunks.into_iter().enumerate() {
+            for pair in self.slice.chunks_mut(self.size).enumerate() {
                 f(pair);
             }
             return;
         }
         let cells: Vec<ChunkCell<'a, T>> = self
-            .chunks
-            .into_iter()
+            .slice
+            .chunks_mut(self.size)
             .enumerate()
             .map(|pair| Mutex::new(Some(pair)))
             .collect();
@@ -616,6 +710,47 @@ mod tests {
             .unwrap()
             .install(|| (0..50_000u64).into_par_iter().map(f).sum());
         assert_eq!(pooled.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn tree_combiner_reproduces_the_level_order_pairwise_tree() {
+        // A textual operator exposes the exact association: any deviation in
+        // pairing or operand order changes the string.
+        let op = |a: String, b: String| format!("({a}+{b})");
+        for n in 1..=64usize {
+            let partials: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            let expected = crate::combine_pairwise(partials.clone(), &op);
+            let mut combiner = crate::TreeCombiner::new();
+            for p in partials {
+                combiner.push(p, &op);
+            }
+            let got = combiner.finish(&op).expect("non-empty combine");
+            assert_eq!(got, expected, "combiner diverged from the tree at n={n}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_bitwise_stable_at_chunk_boundaries() {
+        let serial_pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let f = |i: u64| 1.0f64 / (i as f64 + 1.0);
+        for &n in &[
+            1u64,
+            2,
+            1023,
+            1024,
+            1025,
+            3 * 1024,
+            5 * 1024 + 17,
+            11 * 1024 + 9,
+            13 * 1024 + 1,
+        ] {
+            let pooled: f64 = (0..n).into_par_iter().map(f).sum();
+            let serial: f64 = serial_pool.install(|| (0..n).into_par_iter().map(f).sum());
+            assert_eq!(pooled.to_bits(), serial.to_bits(), "n={n}");
+        }
     }
 
     #[test]

@@ -15,7 +15,11 @@ use std::path::Path;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match cli::parse(&args) {
-        Ok(Command::BenchDiff { baseline, current }) => bench_diff(&baseline, &current),
+        Ok(Command::BenchDiff {
+            baseline,
+            current,
+            max_regression,
+        }) => bench_diff(&baseline, &current, max_regression),
         Ok(command) => cli::execute(&command),
         Err(message) => {
             eprintln!("error: {message}");
@@ -27,8 +31,10 @@ fn main() {
 }
 
 /// Compares two bench JSON records (each a file or a directory of records),
-/// tolerating groups present on only one side.
-fn bench_diff(baseline: &Path, current: &Path) -> i32 {
+/// tolerating groups present on only one side. With `max_regression` set
+/// (a fraction, from `--max-regression PCT`), the comparison becomes a gate:
+/// exit 1 when any benchmark's mean slowed down beyond the tolerance.
+fn bench_diff(baseline: &Path, current: &Path, max_regression: Option<f64>) -> i32 {
     let load = |path: &Path| match bench::diff::load_records(path) {
         Ok(records) => Some(records),
         Err(message) => {
@@ -41,5 +47,22 @@ fn bench_diff(baseline: &Path, current: &Path) -> i32 {
     };
     let comparison = bench::diff::diff(&baseline, &current);
     print!("{}", bench::diff::render(&comparison));
-    0
+    let Some(tolerance) = max_regression else {
+        return 0;
+    };
+    let flagged = bench::diff::regressions_beyond(&comparison, tolerance);
+    if flagged.is_empty() {
+        eprintln!("bench-diff: no regression beyond {:.1}%", tolerance * 100.0);
+        return 0;
+    }
+    for r in &flagged {
+        eprintln!(
+            "bench-diff: {}/{} regressed {:+.1}% (tolerance {:.1}%)",
+            r.group,
+            r.id,
+            r.change * 100.0,
+            tolerance * 100.0
+        );
+    }
+    1
 }

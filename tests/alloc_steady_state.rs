@@ -1,0 +1,113 @@
+//! Steady-state zero-allocation contract of the workload hot paths
+//! (DESIGN.md §11).
+//!
+//! Every registered workload is run repeatedly with one fixed parameter
+//! assignment. The first runs are warm-up: they fill the size-classed buffer
+//! pool, the string interner and the generation memo caches. After that,
+//! each `Workload::run` must be served entirely from pooled and memoized
+//! storage — the counting global allocator below must observe **zero**
+//! `alloc`/`realloc` calls across the steady-state launches.
+//!
+//! The test pins `RAYON_NUM_THREADS=1` before the first parallel call so the
+//! worker pool's serial lane executes in the caller (spawning workers — a
+//! one-time, warm-up-phase cost in production — would otherwise count
+//! against whichever launch happened to trigger it).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocator entry point that can hand out new memory.
+/// Deallocation is free to happen in steady state (returning a block to the
+/// pool's shelves never touches the global allocator, but dropping a
+/// same-sized replacement is harmless either way), so `dealloc` is not
+/// counted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Warm-up launches per workload before counting starts. Two would do (the
+/// first fills caches, the second settles pool shelf population); a third
+/// adds slack against launch-order effects inside a single run.
+const WARMUP_RUNS: usize = 3;
+
+/// Counted steady-state launches per workload.
+const STEADY_RUNS: usize = 3;
+
+#[test]
+fn steady_state_launches_do_not_allocate() {
+    // Must precede the first parallel call of the process: the worker pool
+    // reads the variable once, when first used.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+
+    use science_kernels::workload::{self, ParamValue};
+
+    let engines = workload::all();
+    assert!(
+        engines.len() >= 5,
+        "expected the five registered workloads, found {}",
+        engines.len()
+    );
+
+    for engine in engines {
+        let mut params = engine.default_params();
+        params
+            .set(
+                engine.size_param(),
+                ParamValue::Int(engine.bench_sizes()[0]),
+            )
+            .expect("size param applies");
+
+        for _ in 0..WARMUP_RUNS {
+            engine.run(&params).expect("warm-up run succeeds");
+        }
+
+        let before = allocations();
+        for launch in 0..STEADY_RUNS {
+            let output = engine.run(&params).expect("steady-state run succeeds");
+            assert!(
+                !output.measurements.is_empty(),
+                "{}: steady-state run produced no measurements",
+                engine.name()
+            );
+            drop(output);
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "{}: steady-state launch {} performed {} global allocation(s); \
+                 every hot-path buffer must come from the pool or a memo cache",
+                engine.name(),
+                launch + 2 + WARMUP_RUNS,
+                after - before
+            );
+        }
+    }
+}
