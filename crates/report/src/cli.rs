@@ -29,9 +29,11 @@
 //! deterministic experiment renderings, so `run` and `sweep` output can be
 //! compared byte-for-byte across runs, thread counts and worker counts.
 
+use crate::chaos;
+use crate::dispatch::{self, DispatchPolicy, HostManifest, Launcher, LocalLauncher};
 use crate::registry::{known_ids, run_experiments, ExperimentId, EXPERIMENTS};
 use crate::report::ExperimentReport;
-use crate::shard::{self, ShardDocument, ShardManifest, ShardSpec};
+use crate::shard::{self, ShardDocument, ShardManifest, ShardPoolCounters, ShardSpec};
 use crate::sweep::{run_sweep, SweepSpec};
 use hpc_metrics::output::{self, CsvTable};
 use science_kernels::hartree_fock::{
@@ -39,6 +41,7 @@ use science_kernels::hartree_fock::{
 };
 use science_kernels::workload;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 use vendor_models::Platform;
 
 /// Output rendering of `run` and `sweep`.
@@ -138,11 +141,53 @@ pub struct SweepArgs {
     pub preset_out: Option<PathBuf>,
 }
 
+/// How the `shard` coordinator places workers (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LauncherKind {
+    /// Worker subprocesses of this binary on this host (the default).
+    #[default]
+    Local,
+    /// Command-template workers from a `--hosts` manifest (`ssh host -- …`
+    /// by default; any argv template, including replay via `cat`).
+    Template,
+    /// Generate a SLURM-style job-array batch script instead of running
+    /// anything; the collected shard documents merge later via a replay
+    /// manifest.
+    Slurm,
+}
+
+impl LauncherKind {
+    /// Parses a `--launcher` value (`ssh` is an alias for `template`).
+    pub fn parse(value: &str) -> Result<LauncherKind, String> {
+        match value {
+            "local" => Ok(LauncherKind::Local),
+            "template" | "ssh" => Ok(LauncherKind::Template),
+            "slurm" => Ok(LauncherKind::Slurm),
+            other => Err(format!(
+                "--launcher: expected local, template (alias ssh) or slurm, got '{other}'"
+            )),
+        }
+    }
+}
+
 /// Arguments of the `shard` coordinator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardArgs {
     /// Worker subprocess count (= shard count), at least 1.
     pub workers: u64,
+    /// How workers are placed ([`LauncherKind::Local`] by default).
+    pub launcher: LauncherKind,
+    /// Host-manifest file (required for `--launcher template`, optional
+    /// node pin for `--launcher slurm`).
+    pub hosts: Option<PathBuf>,
+    /// Per-worker wall-clock timeout in seconds; a worker exceeding it is
+    /// killed and the attempt counts as failed.
+    pub timeout: Option<f64>,
+    /// Attempt budget per shard (default 3; 0 runs a single attempt and
+    /// degrades gracefully on failure).
+    pub max_attempts: u32,
+    /// Launch speculative duplicates of straggling shards.
+    pub speculate: bool,
     /// The wrapped command ([`Command::Run`] or [`Command::Sweep`]) whose
     /// work items the workers partition.
     pub inner: Box<Command>,
@@ -182,6 +227,8 @@ USAGE:
   mojo-hpc sweep --preset FILE [--out DIR] [--threads N] [--format csv|json]
                             [--shard I/N]
   mojo-hpc shard (run|sweep) <run/sweep arguments> --workers N
+                            [--launcher local|template|slurm] [--hosts FILE]
+                            [--timeout SECS] [--max-attempts N] [--speculate]
   mojo-hpc diff <dir-a> <dir-b>
   mojo-hpc bench-diff <baseline.json|dir> <current.json|dir>
                             [--max-regression PCT]
@@ -205,6 +252,17 @@ merges the workers' partial JSON documents into output byte-identical to
 the single-process command. `--shard I/N` is the worker-side flag: it runs
 shard I and prints a JSON shard document (manifest + partial reports); it
 cannot be combined with `--format csv`.
+
+DISPATCHER (DESIGN.md \u{a7}12): workers run under supervision. `--timeout
+SECS` kills a worker exceeding the wall clock; `--max-attempts N` retries a
+failed shard with exponential backoff on the healthiest launcher (default
+3; 0 runs a single attempt and, on failure, reports which ranges completed
+before exiting 1); `--speculate` duplicates the slowest straggler (first
+completion wins). `--launcher template --hosts FILE` places workers through
+a JSON host manifest's command template (ssh by default); `--launcher
+slurm` writes a job-array batch script to <out>/slurm_job_array.sbatch
+instead of running anything. MOJO_HPC_CHAOS=mode:shard[:attempts] injects
+crash/hang/garble/slow faults into workers for harness testing.
 
 EXIT CODES:
   0  success / directories identical
@@ -471,26 +529,64 @@ fn parse_sweep(rest: &[&str]) -> Result<Command, String> {
     }))
 }
 
-/// Parses `shard (run|sweep) … --workers N`: extract `--workers`, delegate
-/// the rest to the wrapped subcommand's parser, and reject combinations the
-/// coordinator owns (`--shard` on the inner command).
+/// Parses `shard (run|sweep) … --workers N [dispatcher flags]`: extract the
+/// coordinator's own flags, delegate the rest to the wrapped subcommand's
+/// parser, and reject combinations the coordinator owns (`--shard` on the
+/// inner command; `--hosts` without a host-driven launcher).
 fn parse_shard(rest: &[&str]) -> Result<Command, String> {
     let mut workers = None;
+    let mut launcher = LauncherKind::default();
+    let mut hosts = None;
+    let mut timeout = None;
+    let mut max_attempts = 3u32;
+    let mut speculate = false;
     let mut inner_args: Vec<&str> = Vec::new();
     let mut args = rest.iter().copied();
     while let Some(arg) = args.next() {
-        if arg == "--workers" {
-            workers = Some(parse_number::<u64>(
-                "--workers",
-                flag_value("--workers", &mut args)?,
-            )?);
-        } else {
-            inner_args.push(arg);
+        match arg {
+            "--workers" => {
+                workers = Some(parse_number::<u64>(
+                    "--workers",
+                    flag_value("--workers", &mut args)?,
+                )?);
+            }
+            "--launcher" => {
+                launcher = LauncherKind::parse(flag_value("--launcher", &mut args)?)?;
+            }
+            "--hosts" => hosts = Some(PathBuf::from(flag_value("--hosts", &mut args)?)),
+            "--timeout" => {
+                let secs: f64 = parse_number("--timeout", flag_value("--timeout", &mut args)?)?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--timeout must be a positive number of seconds".to_string());
+                }
+                timeout = Some(secs);
+            }
+            "--max-attempts" => {
+                max_attempts = parse_number::<u32>(
+                    "--max-attempts",
+                    flag_value("--max-attempts", &mut args)?,
+                )?;
+            }
+            "--speculate" => speculate = true,
+            other => inner_args.push(other),
         }
     }
     let workers = workers.ok_or_else(|| "'shard' needs --workers N".to_string())?;
     if workers == 0 {
         return Err("--workers must be at least 1".to_string());
+    }
+    match launcher {
+        LauncherKind::Template if hosts.is_none() => {
+            return Err("--launcher template needs --hosts FILE".to_string());
+        }
+        LauncherKind::Local if hosts.is_some() => {
+            return Err(
+                "--hosts drives the template/slurm launchers; pass --launcher template \
+                 (or slurm) with it"
+                    .to_string(),
+            );
+        }
+        _ => {}
     }
     let inner = match inner_args.split_first() {
         Some((&"run", tail)) => parse_run(tail)?,
@@ -510,6 +606,11 @@ fn parse_shard(rest: &[&str]) -> Result<Command, String> {
         ),
         Command::Run(_) | Command::Sweep(_) => Ok(Command::Shard(ShardArgs {
             workers,
+            launcher,
+            hosts,
+            timeout,
+            max_attempts,
+            speculate,
             inner: Box::new(inner),
         })),
         _ => Err("'shard' wraps 'run' or 'sweep' (run hartree-fock shards internally)".to_string()),
@@ -710,12 +811,34 @@ fn execute_run(args: &RunArgs) -> i32 {
     0
 }
 
+/// The worker's pool activity since `before`, for embedding in its shard
+/// manifest — `None` when the shard checked nothing out (empty shards add
+/// no telemetry).
+fn pool_counters_since(before: &gpu_sim::PoolStats) -> Option<ShardPoolCounters> {
+    let delta = gpu_sim::pool::stats().since(before);
+    if delta.checkouts == 0 {
+        return None;
+    }
+    Some(ShardPoolCounters {
+        checkouts: delta.checkouts,
+        hits: delta.hits,
+        misses: delta.misses,
+        recycled_bytes: delta.recycled_bytes,
+        fresh_bytes: delta.fresh_bytes,
+        high_water_bytes: gpu_sim::pool::stats().high_water_bytes,
+    })
+}
+
 /// Worker mode of `run`: regenerate only this shard of the id list and
 /// print a shard document (manifest + partial reports) on stdout. No files
 /// are written — the coordinator renders and writes the merged output.
+/// Consults the chaos seam first, so the fault-injection harness can
+/// perturb exactly this path (DESIGN.md §12).
 fn execute_run_shard_worker(args: &RunArgs, spec: &ShardSpec) -> i32 {
+    chaos::apply(spec.index);
     let range = spec.range(args.ids.len());
     let subset = &args.ids[range.clone()];
+    let pool_before = gpu_sim::pool::stats();
     let reports = if subset.is_empty() {
         Vec::new()
     } else {
@@ -732,6 +855,7 @@ fn execute_run_shard_worker(args: &RunArgs, spec: &ShardSpec) -> i32 {
             items: subset.iter().map(|id| id.as_str().to_string()).collect(),
             workload: None,
             params: None,
+            pool: pool_counters_since(&pool_before),
         },
         reports,
     };
@@ -817,8 +941,10 @@ fn execute_sweep(args: &SweepArgs) -> i32 {
 /// parameter encoding so the coordinator can verify every worker ran the
 /// same configuration.
 fn execute_sweep_shard_worker(spec: &SweepSpec, shard_spec: &ShardSpec) -> i32 {
+    chaos::apply(shard_spec.index);
     let range = shard_spec.range(spec.sizes.len());
     let sizes = spec.sizes[range.clone()].to_vec();
+    let pool_before = gpu_sim::pool::stats();
     let reports = if sizes.is_empty() {
         Vec::new()
     } else {
@@ -846,6 +972,7 @@ fn execute_sweep_shard_worker(spec: &SweepSpec, shard_spec: &ShardSpec) -> i32 {
             items: sizes.iter().map(|s| s.to_string()).collect(),
             workload: Some(spec.workload.name().to_string()),
             params: Some(spec.base.encode()),
+            pool: pool_counters_since(&pool_before),
         },
         reports,
     };
@@ -853,33 +980,149 @@ fn execute_sweep_shard_worker(spec: &SweepSpec, shard_spec: &ShardSpec) -> i32 {
     0
 }
 
-/// The `shard` coordinator: spawn one worker subprocess per shard, merge
-/// their documents, and render the merged output exactly as the wrapped
-/// single-process command would.
+/// The `shard` coordinator: place one worker per shard through the
+/// configured launcher under the dispatcher's supervision, merge their
+/// documents, and render the merged output exactly as the wrapped
+/// single-process command would. `--launcher slurm` generates a job-array
+/// batch script instead of running workers.
 fn execute_shard(args: &ShardArgs) -> i32 {
     match args.inner.as_ref() {
-        Command::Run(run_args) => execute_shard_run(args.workers, run_args),
-        Command::Sweep(sweep_args) => execute_shard_sweep(args.workers, sweep_args),
+        Command::Run(run_args) => execute_shard_run(args, run_args),
+        Command::Sweep(sweep_args) => execute_shard_sweep(args, sweep_args),
         _ => unreachable!("the parser only wraps run and sweep in shard"),
     }
 }
 
-fn execute_shard_run(workers: u64, args: &RunArgs) -> i32 {
+/// Builds the launcher fleet a `shard` invocation dispatches through.
+/// The local launcher gets one extra slot under `--speculate`, so a
+/// duplicate of a straggler never has to wait for the straggler itself to
+/// free a slot.
+fn build_launchers(args: &ShardArgs) -> Result<Vec<Box<dyn Launcher>>, String> {
+    match args.launcher {
+        LauncherKind::Local => {
+            let slots = args.workers as usize + usize::from(args.speculate);
+            Ok(vec![
+                Box::new(LocalLauncher::current_exe(slots)?) as Box<dyn Launcher>
+            ])
+        }
+        LauncherKind::Template => {
+            let path = args.hosts.as_ref().expect("parser requires --hosts");
+            HostManifest::load(path)?.launchers()
+        }
+        LauncherKind::Slurm => {
+            unreachable!("the slurm lane generates a script instead of dispatching")
+        }
+    }
+}
+
+/// The dispatch policy a `shard` invocation's flags select.
+fn dispatch_policy(args: &ShardArgs) -> DispatchPolicy {
+    DispatchPolicy {
+        max_attempts: args.max_attempts,
+        timeout: args.timeout.map(Duration::from_secs_f64),
+        speculate: args.speculate,
+        ..DispatchPolicy::default()
+    }
+}
+
+/// Writes the SLURM job-array script for `base_args` (one array task per
+/// shard; the script appends `--shard $SLURM_ARRAY_TASK_ID/N`) under
+/// `out_dir` and echoes its path to stderr.
+fn emit_slurm_script(args: &ShardArgs, base_args: &[String], out_dir: &Path) -> i32 {
+    let manifest = match &args.hosts {
+        Some(path) => match HostManifest::load(path) {
+            Ok(manifest) => Some(manifest),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let exe = match std::env::current_exe() {
+        Ok(path) => path.display().to_string(),
+        Err(err) => {
+            eprintln!("error: cannot locate the current executable: {err}");
+            return 1;
+        }
+    };
+    let script = dispatch::slurm_job_array_script(&exe, base_args, args.workers, manifest.as_ref());
+    let path = out_dir.join("slurm_job_array.sbatch");
+    if let Err(err) = std::fs::create_dir_all(out_dir) {
+        eprintln!("failed to create {}: {err}", out_dir.display());
+        return 1;
+    }
+    if let Err(err) = std::fs::write(&path, script) {
+        eprintln!("failed to write {}: {err}", path.display());
+        return 1;
+    }
+    eprintln!("  [sbatch] {}", path.display());
+    0
+}
+
+/// Prints the fleet-wide pool telemetry accumulated from the workers'
+/// shard manifests — the coordinator-side counterpart of the stderr line
+/// `run`/`sweep` print directly (stdout and goldens stay untouched).
+fn report_fleet_pool_telemetry(docs: &[ShardDocument]) {
+    let mut fleet = ShardPoolCounters::default();
+    let mut reporting = 0u64;
+    for doc in docs {
+        if let Some(pool) = &doc.manifest.pool {
+            fleet.accumulate(pool);
+            reporting += 1;
+        }
+    }
+    if fleet.checkouts == 0 {
+        return;
+    }
+    eprintln!(
+        "pool: {} worker(s), {} checkout(s), {:.1}% hit rate, {} B recycled, {} B fresh, \
+         high water {} B",
+        reporting,
+        fleet.checkouts,
+        fleet.hit_rate(),
+        fleet.recycled_bytes,
+        fleet.fresh_bytes,
+        fleet.high_water_bytes,
+    );
+}
+
+/// Runs the dispatcher over the per-worker argument lists and reports the
+/// attempt accounting plus fleet pool telemetry on stderr.
+fn dispatch_workers(
+    args: &ShardArgs,
+    worker_args: &[Vec<String>],
+) -> Result<Vec<ShardDocument>, String> {
+    let launchers = build_launchers(args)?;
+    let tasks = shard::worker_tasks(worker_args);
+    let (docs, summary) = dispatch::dispatch(&launchers, &tasks, &dispatch_policy(args))?;
+    eprintln!("dispatch: {}", summary.render());
+    report_fleet_pool_telemetry(&docs);
+    Ok(docs)
+}
+
+fn execute_shard_run(shard_args: &ShardArgs, args: &RunArgs) -> i32 {
     let started = std::time::Instant::now();
+    let workers = shard_args.workers;
+    let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
+    let mut base = vec!["run".to_string()];
+    base.extend(args.ids.iter().map(|id| id.as_str().to_string()));
+    if let Some(threads) = args.threads {
+        base.push("--threads".to_string());
+        base.push(threads.to_string());
+    }
+    if shard_args.launcher == LauncherKind::Slurm {
+        return emit_slurm_script(shard_args, &base, &out_dir);
+    }
     let worker_args: Vec<Vec<String>> = (0..workers)
         .map(|index| {
-            let mut argv = vec!["run".to_string()];
-            argv.extend(args.ids.iter().map(|id| id.as_str().to_string()));
+            let mut argv = base.clone();
             argv.push("--shard".to_string());
             argv.push(format!("{index}/{workers}"));
-            if let Some(threads) = args.threads {
-                argv.push("--threads".to_string());
-                argv.push(threads.to_string());
-            }
             argv
         })
         .collect();
-    let docs = match shard::run_workers(&worker_args) {
+    let docs = match dispatch_workers(shard_args, &worker_args) {
         Ok(docs) => docs,
         Err(err) => {
             eprintln!("error: {err}");
@@ -894,7 +1137,6 @@ fn execute_shard_run(workers: u64, args: &RunArgs) -> i32 {
             return 1;
         }
     };
-    let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
     let code = emit_run_reports(&reports, args.format, &out_dir);
     if code != 0 {
         return code;
@@ -907,8 +1149,9 @@ fn execute_shard_run(workers: u64, args: &RunArgs) -> i32 {
     0
 }
 
-fn execute_shard_sweep(workers: u64, args: &SweepArgs) -> i32 {
+fn execute_shard_sweep(shard_args: &ShardArgs, args: &SweepArgs) -> i32 {
     let started = std::time::Instant::now();
+    let workers = shard_args.workers;
     let spec = match resolve_sweep_spec(args) {
         Ok(spec) => spec,
         Err(err) => {
@@ -929,6 +1172,29 @@ fn execute_shard_sweep(workers: u64, args: &SweepArgs) -> i32 {
     // a world-writable directory would be open to symlink/rewrite games by
     // other local users.
     let out_dir = args.out.clone().unwrap_or_else(output::experiments_dir);
+    if shard_args.launcher == LauncherKind::Slurm {
+        // Array tasks run later, possibly on other machines: the preset must
+        // outlive this process at a stable path next to the script.
+        let preset_path = out_dir.join("slurm_shard_preset.json");
+        if let Err(err) = spec.write_preset(&preset_path) {
+            eprintln!(
+                "failed to write the worker preset {}: {err}",
+                preset_path.display()
+            );
+            return 1;
+        }
+        eprintln!("  [preset] {}", preset_path.display());
+        let mut base = vec![
+            "sweep".to_string(),
+            "--preset".to_string(),
+            preset_path.display().to_string(),
+        ];
+        if let Some(threads) = args.threads {
+            base.push("--threads".to_string());
+            base.push(threads.to_string());
+        }
+        return emit_slurm_script(shard_args, &base, &out_dir);
+    }
     let preset_path = out_dir.join(format!(
         ".mojo-hpc-shard-preset-{}.json",
         std::process::id()
@@ -956,7 +1222,7 @@ fn execute_shard_sweep(workers: u64, args: &SweepArgs) -> i32 {
             argv
         })
         .collect();
-    let docs = shard::run_workers(&worker_args);
+    let docs = dispatch_workers(shard_args, &worker_args);
     std::fs::remove_file(&preset_path).ok();
     let docs = match docs {
         Ok(docs) => docs,
@@ -1316,6 +1582,54 @@ mod tests {
         assert!(parse_line("shard run hartree-fock --atoms 8 --workers 2").is_err());
         // The coordinator owns shard assignment.
         assert!(parse_line("shard run --all --workers 2 --shard 0/2").is_err());
+    }
+
+    #[test]
+    fn parses_the_dispatcher_flags() {
+        match parse_line(
+            "shard run --all --workers 3 --launcher template --hosts h.json \
+             --timeout 2.5 --max-attempts 5 --speculate",
+        )
+        .unwrap()
+        {
+            Command::Shard(args) => {
+                assert_eq!(args.launcher, LauncherKind::Template);
+                assert_eq!(args.hosts, Some(PathBuf::from("h.json")));
+                assert_eq!(args.timeout, Some(2.5));
+                assert_eq!(args.max_attempts, 5);
+                assert!(args.speculate);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: local launcher, 3 attempts, no timeout, no speculation.
+        match parse_line("shard run --all --workers 2").unwrap() {
+            Command::Shard(args) => {
+                assert_eq!(args.launcher, LauncherKind::Local);
+                assert_eq!(args.hosts, None);
+                assert_eq!(args.timeout, None);
+                assert_eq!(args.max_attempts, 3);
+                assert!(!args.speculate);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // "ssh" is an alias for the template launcher; slurm needs no hosts.
+        match parse_line("shard run --all --workers 2 --launcher ssh --hosts h.json").unwrap() {
+            Command::Shard(args) => assert_eq!(args.launcher, LauncherKind::Template),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_line("shard run --all --workers 2 --launcher slurm").is_ok());
+        assert!(parse_line("shard run --all --workers 2 --max-attempts 0").is_ok());
+        // Conflicting or malformed dispatcher flags are usage errors.
+        assert!(parse_line("shard run --all --workers 2 --launcher warp").is_err());
+        assert!(parse_line("shard run --all --workers 2 --launcher template").is_err());
+        assert!(parse_line("shard run --all --workers 2 --hosts h.json").is_err());
+        assert!(parse_line("shard run --all --workers 2 --timeout 0").is_err());
+        assert!(parse_line("shard run --all --workers 2 --timeout -1").is_err());
+        assert!(parse_line("shard run --all --workers 2 --timeout inf").is_err());
+        assert!(parse_line("shard run --all --workers 2 --timeout nope").is_err());
+        assert!(parse_line("shard run --all --workers 2 --max-attempts x").is_err());
+        assert!(parse_line("shard run --all --workers 2 --launcher").is_err());
+        assert!(parse_line("shard run --all --workers 2 --hosts").is_err());
     }
 
     #[test]

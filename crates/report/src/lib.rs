@@ -23,7 +23,9 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cli;
+pub mod dispatch;
 pub mod experiments;
 pub mod prelude;
 pub mod registry;
@@ -32,10 +34,11 @@ pub mod report;
 pub mod shard;
 pub mod sweep;
 
+pub use dispatch::{DispatchPolicy, DispatchSummary, HostManifest, Launcher, LocalLauncher};
 pub use registry::{
     all_experiments, run_experiment, run_experiments, ExperimentId, ExperimentSpec, WorkloadPreset,
     EXPERIMENTS,
 };
 pub use report::ExperimentReport;
-pub use shard::{ShardDocument, ShardManifest, ShardSpec};
+pub use shard::{ShardDocument, ShardManifest, ShardPoolCounters, ShardSpec};
 pub use sweep::{run_sweep, SweepSpec};

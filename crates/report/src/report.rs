@@ -16,6 +16,16 @@ pub(crate) fn json_field<'a>(value: &'a Value, key: &str) -> Result<&'a Value, S
     }
 }
 
+/// Looks up an optional field of a JSON object value: `None` when the key
+/// is absent (or the value is not an object), so schema extensions stay
+/// backward compatible with documents written before the field existed.
+pub(crate) fn json_opt_field<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
 /// Extracts a JSON string value.
 pub(crate) fn json_str(value: &Value) -> Result<&str, String> {
     match value {

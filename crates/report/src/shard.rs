@@ -16,9 +16,11 @@
 //!   output **byte-identical** to a single-process `run` / `sweep`, after
 //!   validating that the manifests form a complete, non-overlapping tiling
 //!   of the work;
-//! * [`run_workers`] — the coordinator's process fan-out: spawn one worker
-//!   subprocess of the current binary per shard, collect and parse their
-//!   stdout, and name any shard whose worker exited nonzero.
+//! * [`run_workers`] — the coordinator's process fan-out: one worker
+//!   subprocess of the current binary per shard, supervised by the
+//!   [`crate::dispatch`] engine (which also provides retries, timeouts,
+//!   remote launchers and speculation when the CLI asks for them), with any
+//!   failure named per shard alongside the worker's captured stderr tail.
 //!
 //! Byte-identity holds because the report JSON schema carries only strings
 //! (every table cell is exactly the bytes the CSV lane prints), the JSON
@@ -26,11 +28,12 @@
 //! contiguous and order-preserving — so concatenating the partial reports in
 //! shard order reproduces the single-process traversal exactly.
 
-use crate::report::{json_array, json_field, json_str, json_u64, ExperimentReport};
+use crate::dispatch::{dispatch, DispatchPolicy, Launcher, LocalLauncher, WorkerTask};
+use crate::report::{json_array, json_field, json_opt_field, json_str, json_u64, ExperimentReport};
 use crate::sweep::{self, SweepSpec};
 use serde::value::Value;
+use std::fmt;
 use std::ops::Range;
-use std::process::{Command, Stdio};
 
 /// Version tag of the shard document schema, bumped on breaking changes.
 pub const SHARD_SCHEMA: u64 = 1;
@@ -82,6 +85,91 @@ impl ShardSpec {
     }
 }
 
+impl fmt::Display for ShardSpec {
+    /// Renders the spec back to its `I/N` flag form — `parse ∘ to_string`
+    /// is the identity on valid specs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.total)
+    }
+}
+
+/// Per-worker memory-pool counters embedded in the shard manifest, so the
+/// coordinator can report fleet-wide pool telemetry on stderr (the line
+/// `run`/`sweep` print directly) without touching the merged stdout/golden
+/// output.
+///
+/// The field is optional in the JSON schema: documents written before it
+/// existed still parse, and manifests without telemetry serialise without
+/// the key — [`SHARD_SCHEMA`] stays at 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardPoolCounters {
+    /// Buffer checkouts the worker performed.
+    pub checkouts: u64,
+    /// Checkouts served by recycling a pooled buffer.
+    pub hits: u64,
+    /// Checkouts that had to allocate fresh.
+    pub misses: u64,
+    /// Bytes served from recycled buffers.
+    pub recycled_bytes: u64,
+    /// Bytes freshly allocated.
+    pub fresh_bytes: u64,
+    /// The worker's pool high-water mark in bytes.
+    pub high_water_bytes: u64,
+}
+
+impl ShardPoolCounters {
+    /// The counters as a JSON value tree.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("checkouts".to_string(), Value::U64(self.checkouts)),
+            ("hits".to_string(), Value::U64(self.hits)),
+            ("misses".to_string(), Value::U64(self.misses)),
+            (
+                "recycled_bytes".to_string(),
+                Value::U64(self.recycled_bytes),
+            ),
+            ("fresh_bytes".to_string(), Value::U64(self.fresh_bytes)),
+            (
+                "high_water_bytes".to_string(),
+                Value::U64(self.high_water_bytes),
+            ),
+        ])
+    }
+
+    /// Parses the counters back from their JSON value tree.
+    pub fn from_json_value(value: &Value) -> Result<ShardPoolCounters, String> {
+        let field = |key: &str| json_u64(json_field(value, key)?);
+        Ok(ShardPoolCounters {
+            checkouts: field("checkouts")?,
+            hits: field("hits")?,
+            misses: field("misses")?,
+            recycled_bytes: field("recycled_bytes")?,
+            fresh_bytes: field("fresh_bytes")?,
+            high_water_bytes: field("high_water_bytes")?,
+        })
+    }
+
+    /// Accumulates another worker's counters into this one: monotonic
+    /// counters add, the high-water mark takes the fleet maximum.
+    pub fn accumulate(&mut self, other: &ShardPoolCounters) {
+        self.checkouts += other.checkouts;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.recycled_bytes += other.recycled_bytes;
+        self.fresh_bytes += other.fresh_bytes;
+        self.high_water_bytes = self.high_water_bytes.max(other.high_water_bytes);
+    }
+
+    /// The fraction of checkouts served by recycling, in percent.
+    pub fn hit_rate(&self) -> f64 {
+        if self.checkouts == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.checkouts as f64 * 100.0
+        }
+    }
+}
+
 /// The metadata a shard worker emits next to its partial reports.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardManifest {
@@ -105,6 +193,9 @@ pub struct ShardManifest {
     /// The pinned base parameter encoding every point starts from
     /// (`sweep` only).
     pub params: Option<String>,
+    /// The worker's memory-pool counters, when the worker recorded them
+    /// (absent in documents from older binaries).
+    pub pool: Option<ShardPoolCounters>,
 }
 
 impl ShardManifest {
@@ -114,7 +205,7 @@ impl ShardManifest {
             Some(s) => Value::Str(s.clone()),
             None => Value::Null,
         };
-        Value::Object(vec![
+        let mut entries = vec![
             ("schema".to_string(), Value::U64(SHARD_SCHEMA)),
             ("command".to_string(), Value::Str(self.command.clone())),
             ("shard".to_string(), Value::U64(self.shard)),
@@ -128,7 +219,11 @@ impl ShardManifest {
             ),
             ("workload".to_string(), opt(&self.workload)),
             ("params".to_string(), opt(&self.params)),
-        ])
+        ];
+        if let Some(pool) = &self.pool {
+            entries.push(("pool".to_string(), pool.to_json_value()));
+        }
+        Value::Object(entries)
     }
 
     /// Parses a manifest back from its JSON value tree.
@@ -158,6 +253,10 @@ impl ShardManifest {
                 .collect::<Result<_, String>>()?,
             workload: opt("workload")?,
             params: opt("params")?,
+            pool: match json_opt_field(value, "pool") {
+                None | Some(Value::Null) => None,
+                Some(other) => Some(ShardPoolCounters::from_json_value(other)?),
+            },
         })
     }
 }
@@ -391,15 +490,33 @@ pub fn merge_sweep(spec: &SweepSpec, docs: &[ShardDocument]) -> Result<Experimen
     Ok(report)
 }
 
+/// Builds the [`WorkerTask`] list for a fan-out: worker `i` of the argument
+/// lists computes shard `i` of `N`.
+pub fn worker_tasks(args_per_worker: &[Vec<String>]) -> Vec<WorkerTask> {
+    let total = args_per_worker.len() as u64;
+    args_per_worker
+        .iter()
+        .enumerate()
+        .map(|(index, args)| WorkerTask {
+            shard: index as u64,
+            shards: total,
+            args: args.clone(),
+        })
+        .collect()
+}
+
 /// Spawns one worker subprocess of the current binary per argument list,
-/// runs them concurrently, and parses each worker's stdout as a
-/// [`ShardDocument`].
+/// runs them concurrently under the [`crate::dispatch`] engine, and parses
+/// each worker's stdout as a [`ShardDocument`].
 ///
-/// Worker stderr is inherited (diagnostics stay visible); stdout is
-/// captured. A worker that exits nonzero, prints non-UTF-8, or prints an
-/// unparseable document fails the whole fan-out with an error naming the
-/// shard — the caller reports it and exits nonzero without writing partial
-/// output.
+/// This compatibility wrapper keeps the PR 5 contract — single attempt per
+/// shard, no timeout, no speculation — while capturing worker stderr: a
+/// worker that exits nonzero, prints non-UTF-8, or prints an unparseable
+/// document fails the whole fan-out with an error naming the shard, its
+/// attempt count, and the last lines of its stderr. The caller reports the
+/// error and exits nonzero without writing partial output. The CLI's
+/// retry/timeout/speculation lanes call [`dispatch`] directly with a richer
+/// [`DispatchPolicy`].
 pub fn run_workers(args_per_worker: &[Vec<String>]) -> Result<Vec<ShardDocument>, String> {
     let exe = std::env::current_exe()
         .map_err(|e| format!("cannot locate the current executable: {e}"))?;
@@ -413,44 +530,12 @@ pub fn run_workers_with_exe(
     exe: &std::path::Path,
     args_per_worker: &[Vec<String>],
 ) -> Result<Vec<ShardDocument>, String> {
-    let total = args_per_worker.len();
-    let mut children = Vec::with_capacity(total);
-    for (index, args) in args_per_worker.iter().enumerate() {
-        let child = Command::new(exe)
-            .args(args)
-            .stdout(Stdio::piped())
-            .spawn()
-            .map_err(|e| format!("shard {index}/{total}: failed to spawn worker: {e}"))?;
-        children.push(child);
-    }
-    let mut docs = Vec::with_capacity(total);
-    let mut failures = Vec::new();
-    for (index, child) in children.into_iter().enumerate() {
-        let output = child
-            .wait_with_output()
-            .map_err(|e| format!("shard {index}/{total}: failed to collect worker: {e}"))?;
-        if !output.status.success() {
-            failures.push(format!(
-                "shard {index}/{total}: worker exited with {}",
-                output.status
-            ));
-            continue;
-        }
-        let stdout = match String::from_utf8(output.stdout) {
-            Ok(stdout) => stdout,
-            Err(_) => {
-                failures.push(format!("shard {index}/{total}: worker stdout is not UTF-8"));
-                continue;
-            }
-        };
-        match ShardDocument::parse(&stdout) {
-            Ok(doc) => docs.push(doc),
-            Err(e) => failures.push(format!("shard {index}/{total}: {e}")),
-        }
-    }
-    if !failures.is_empty() {
-        return Err(failures.join("\n"));
-    }
+    let launchers: Vec<Box<dyn Launcher>> = vec![Box::new(LocalLauncher::new(
+        exe,
+        args_per_worker.len().max(1),
+    ))];
+    let tasks = worker_tasks(args_per_worker);
+    let (docs, _summary) = dispatch(&launchers, &tasks, &DispatchPolicy::no_retry())?;
     Ok(docs)
 }
 
@@ -522,6 +607,7 @@ mod tests {
                 items: ids.iter().map(|id| id.as_str().to_string()).collect(),
                 workload: None,
                 params: None,
+                pool: None,
             },
             reports: run_experiments(ids),
         }
@@ -592,6 +678,7 @@ mod tests {
                     items: sizes.iter().map(|s| s.to_string()).collect(),
                     workload: Some(engine.name().to_string()),
                     params: Some(spec.base.encode()),
+                    pool: None,
                 },
                 reports: vec![run_sweep(&sub).unwrap()],
             });
@@ -616,6 +703,7 @@ mod tests {
             items,
             workload: Some(engine.name().to_string()),
             params: Some(spec.base.encode()),
+            pool: None,
         };
         let docs = vec![
             ShardDocument {

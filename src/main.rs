@@ -8,6 +8,12 @@
 //! `std::env::current_exe`) as its worker subprocesses, so the worker-facing
 //! `--shard I/N` flags of `run` and `sweep` always speak the same partition
 //! and document schema as the coordinator that spawned them (DESIGN.md §10).
+//! Workers are placed through the fault-tolerant dispatcher
+//! ([`experiment_report::dispatch`], DESIGN.md §12): pluggable launchers
+//! (`--launcher local|template|slurm` with `--hosts`), per-worker
+//! `--timeout`, bounded retry/re-shard under `--max-attempts`, and
+//! `--speculate` duplicates of straggling shards — all while the merged
+//! output stays byte-identical to a single-process run.
 
 use experiment_report::cli::{self, Command};
 use std::path::Path;
