@@ -18,6 +18,10 @@
 //!   (protocol: DESIGN.md §10);
 //! * `--shard I/N` on `run`/`sweep` — worker mode: execute shard `I` of the
 //!   command's work items and print a partial-report shard document;
+//! * `serve --listen HOST:PORT` — the always-on TCP report service: caches
+//!   results under the stable `Params` encoding, coalesces identical
+//!   concurrent requests single-flight, and spills big sweeps through the
+//!   launcher layer (protocol: DESIGN.md §13);
 //! * `diff <dir-a> <dir-b>` — byte-compare the `.csv` and `.json` report
 //!   files of two directories;
 //! * `bench-diff <a> <b> [--max-regression PCT]` — compare bench JSON
@@ -33,6 +37,7 @@ use crate::chaos;
 use crate::dispatch::{self, DispatchPolicy, HostManifest, Launcher, LocalLauncher};
 use crate::registry::{known_ids, run_experiments, ExperimentId, EXPERIMENTS};
 use crate::report::ExperimentReport;
+use crate::serve::{self, ServeConfig};
 use crate::shard::{self, ShardDocument, ShardManifest, ShardPoolCounters, ShardSpec};
 use crate::sweep::{run_sweep, SweepSpec};
 use hpc_metrics::output::{self, CsvTable};
@@ -78,6 +83,8 @@ pub enum Command {
     Sweep(SweepArgs),
     /// `shard`: spawn worker subprocesses and merge their shard documents.
     Shard(ShardArgs),
+    /// `serve`: run the always-on TCP report service (DESIGN.md §13).
+    Serve(ServeConfig),
     /// `diff`: compare two experiment report directories (CSV and JSON).
     Diff {
         /// Baseline directory.
@@ -229,6 +236,10 @@ USAGE:
   mojo-hpc shard (run|sweep) <run/sweep arguments> --workers N
                             [--launcher local|template|slurm] [--hosts FILE]
                             [--timeout SECS] [--max-attempts N] [--speculate]
+  mojo-hpc serve --listen HOST:PORT [--threads N] [--cache-entries N]
+                            [--cache-bytes N] [--spill-threshold N]
+                            [--spill-workers N] [--spill-timeout SECS]
+                            [--scratch DIR]
   mojo-hpc diff <dir-a> <dir-b>
   mojo-hpc bench-diff <baseline.json|dir> <current.json|dir>
                             [--max-regression PCT]
@@ -264,6 +275,18 @@ slurm` writes a job-array batch script to <out>/slurm_job_array.sbatch
 instead of running anything. MOJO_HPC_CHAOS=mode:shard[:attempts] injects
 crash/hang/garble/slow faults into workers for harness testing.
 
+SERVE (DESIGN.md \u{a7}13): `mojo-hpc serve --listen HOST:PORT` runs an
+always-on TCP service speaking line-delimited JSON: one request per line
+({\"cmd\":\"run\"|\"sweep\"|\"stats\"|\"shutdown\", ...}), one JSON header
+line per response, followed (for run/sweep) by a payload byte-identical to
+that subcommand's stdout. Results are cached in an LRU keyed on the stable
+Params encoding (bounded by --cache-entries / --cache-bytes); identical
+concurrent requests coalesce onto a single computation; sweeps with at
+least --spill-threshold points dispatch through the launcher layer
+(--spill-workers subprocesses, optional --spill-timeout). The bound address
+is announced on stderr; `stats` reports cache, single-flight and
+buffer-pool counters.
+
 EXIT CODES:
   0  success / directories identical
   1  difference found, a validation failed, or a shard worker failed
@@ -285,6 +308,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "run" => parse_run(&rest),
         "sweep" => parse_sweep(&rest),
         "shard" => parse_shard(&rest),
+        "serve" => parse_serve(&rest),
         "diff" => {
             let [a, b] = two_paths("diff", &rest)?;
             Ok(Command::Diff { dir_a: a, dir_b: b })
@@ -342,6 +366,59 @@ fn parse_bench_diff(rest: &[&str]) -> Result<Command, String> {
         current,
         max_regression,
     })
+}
+
+/// Parses `serve --listen ADDR [--threads N] [--cache-entries N]
+/// [--cache-bytes N] [--spill-threshold N] [--spill-workers N]
+/// [--spill-timeout SECS] [--scratch DIR]`.
+fn parse_serve(rest: &[&str]) -> Result<Command, String> {
+    let mut listen = None;
+    let mut config = ServeConfig::new("");
+    let mut args = rest.iter().copied();
+    while let Some(arg) = args.next() {
+        match arg {
+            "--listen" => listen = Some(flag_value("--listen", &mut args)?.to_string()),
+            "--threads" => {
+                config.threads = Some(parse_threads(flag_value("--threads", &mut args)?)?)
+            }
+            "--cache-entries" => {
+                config.cache_entries =
+                    parse_number("--cache-entries", flag_value("--cache-entries", &mut args)?)?
+            }
+            "--cache-bytes" => {
+                config.cache_bytes =
+                    parse_number("--cache-bytes", flag_value("--cache-bytes", &mut args)?)?
+            }
+            "--spill-threshold" => {
+                config.spill_threshold = parse_number(
+                    "--spill-threshold",
+                    flag_value("--spill-threshold", &mut args)?,
+                )?
+            }
+            "--spill-workers" => {
+                let workers: u64 =
+                    parse_number("--spill-workers", flag_value("--spill-workers", &mut args)?)?;
+                if workers == 0 {
+                    return Err("--spill-workers must be at least 1".to_string());
+                }
+                config.spill_workers = workers;
+            }
+            "--spill-timeout" => {
+                let secs: f64 =
+                    parse_number("--spill-timeout", flag_value("--spill-timeout", &mut args)?)?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--spill-timeout must be a positive number of seconds".to_string());
+                }
+                config.spill_timeout = Some(secs);
+            }
+            "--scratch" => {
+                config.scratch = Some(PathBuf::from(flag_value("--scratch", &mut args)?))
+            }
+            other => return Err(format!("unknown 'serve' argument '{other}'")),
+        }
+    }
+    config.listen = listen.ok_or_else(|| "'serve' needs --listen HOST:PORT".to_string())?;
+    Ok(Command::Serve(config))
 }
 
 /// Parses the value of a `--flag VALUE` pair.
@@ -703,11 +780,24 @@ pub fn execute(command: &Command) -> i32 {
         Command::RunHartreeFock(args) => execute_hartree_fock(args),
         Command::Sweep(args) => execute_sweep(args),
         Command::Shard(args) => execute_shard(args),
+        Command::Serve(config) => execute_serve(config),
         Command::Diff { dir_a, dir_b } => execute_diff(dir_a, dir_b),
         Command::BenchDiff { .. } => unreachable!("bench-diff is dispatched by the binary"),
         Command::Help => {
             println!("{}", usage());
             0
+        }
+    }
+}
+
+/// Runs the always-on report service until a `shutdown` request arrives.
+fn execute_serve(config: &ServeConfig) -> i32 {
+    apply_threads(config.threads);
+    match serve::serve(config) {
+        Ok(()) => 0,
+        Err(err) => {
+            eprintln!("error: {err}");
+            1
         }
     }
 }
@@ -815,18 +905,8 @@ fn execute_run(args: &RunArgs) -> i32 {
 /// manifest — `None` when the shard checked nothing out (empty shards add
 /// no telemetry).
 fn pool_counters_since(before: &gpu_sim::PoolStats) -> Option<ShardPoolCounters> {
-    let delta = gpu_sim::pool::stats().since(before);
-    if delta.checkouts == 0 {
-        return None;
-    }
-    Some(ShardPoolCounters {
-        checkouts: delta.checkouts,
-        hits: delta.hits,
-        misses: delta.misses,
-        recycled_bytes: delta.recycled_bytes,
-        fresh_bytes: delta.fresh_bytes,
-        high_water_bytes: gpu_sim::pool::stats().high_water_bytes,
-    })
+    let counters = ShardPoolCounters::since(before);
+    (counters.checkouts != 0).then_some(counters)
 }
 
 /// Worker mode of `run`: regenerate only this shard of the id list and

@@ -542,12 +542,29 @@ impl Active {
         (stdout, stderr)
     }
 
-    /// Kills the child (ignoring already-dead errors), reaps it, and joins
-    /// the drain threads.
-    fn kill_and_reap(&mut self) {
+    /// Kills the child (ignoring already-dead errors), reaps it, joins the
+    /// drain threads, and returns whatever the worker managed to print.
+    /// Every kill path goes through here so a killed attempt can never leave
+    /// a zombie process or a leaked drain thread behind — and never loses
+    /// the diagnostics the worker wrote before dying.
+    fn kill_and_collect(&mut self) -> (Vec<u8>, Vec<u8>) {
         self.child.kill().ok();
         self.child.wait().ok();
-        self.collect_output();
+        self.collect_output()
+    }
+}
+
+impl Drop for Active {
+    /// Backstop: an attempt dropped on an unexpected path (e.g. a panic
+    /// unwinding through the engine) is still killed, reaped, and its drain
+    /// threads joined. On every normal path `collect_output` has already
+    /// taken both handles and this is a no-op.
+    fn drop(&mut self) {
+        if self.stdout.is_some() || self.stderr.is_some() {
+            self.child.kill().ok();
+            self.child.wait().ok();
+            self.collect_output();
+        }
     }
 }
 
@@ -737,12 +754,19 @@ impl Engine<'_> {
                 });
             }
             Err(e) => {
+                // No worker ran, so there is no captured stderr; synthesise
+                // a tail naming the launcher and OS error so exhausted-retry
+                // reports stay uniform across the exit/timeout/spawn paths.
+                let tail = vec![format!(
+                    "(no worker output: spawn through launcher '{}' failed: {e})",
+                    self.launchers[launcher].describe()
+                )];
                 self.record_failure(
                     task,
                     attempt,
                     launcher,
                     format!("failed to spawn worker: {e}"),
-                    Vec::new(),
+                    tail,
                 );
             }
         }
@@ -835,6 +859,20 @@ impl Engine<'_> {
     ) {
         self.launcher_failures[launcher] += 1;
         let still_running = self.active.iter().any(|a| a.task == task);
+        // Relay the failure (and the attempt's stderr tail) live, in attempt
+        // order: a retried-and-recovered run would otherwise swallow the
+        // failed attempt's diagnostics entirely — the final failure report
+        // only renders when the whole dispatch fails.
+        let spec = &self.tasks[task];
+        eprintln!(
+            "dispatch: shard {}/{} attempt {attempt} [{}] failed: {error}",
+            spec.shard,
+            spec.shards,
+            self.launchers[launcher].describe()
+        );
+        for line in &stderr_tail_lines {
+            eprintln!("dispatch:   stderr: {line}");
+        }
         let state = &mut self.states[task];
         state.failures.push(FailureRecord {
             attempt,
@@ -904,7 +942,7 @@ impl Engine<'_> {
                 }
                 self.active = keep;
                 for mut loser in reaped {
-                    loser.kill_and_reap();
+                    loser.kill_and_collect();
                     self.summary.reaped += 1;
                 }
             }
@@ -937,7 +975,11 @@ impl Engine<'_> {
                         .is_some_and(|deadline| now >= deadline);
                     if timed_out {
                         let mut attempt = self.active.swap_remove(index);
-                        attempt.kill_and_reap();
+                        // The drain threads already hold whatever the hung
+                        // worker printed; pass the real tail, not an empty
+                        // one — a killed worker's last words are exactly
+                        // what the operator needs.
+                        let (_stdout, stderr) = attempt.kill_and_collect();
                         self.summary.timeouts += 1;
                         let elapsed = attempt.started.elapsed().as_secs_f64();
                         self.record_failure(
@@ -945,20 +987,20 @@ impl Engine<'_> {
                             attempt.attempt,
                             attempt.launcher,
                             format!("worker timed out after {elapsed:.1} s (killed)"),
-                            Vec::new(),
+                            stderr_tail(&stderr),
                         );
                         continue;
                     }
                 }
                 Err(e) => {
                     let mut attempt = self.active.swap_remove(index);
-                    attempt.kill_and_reap();
+                    let (_stdout, stderr) = attempt.kill_and_collect();
                     self.record_failure(
                         attempt.task,
                         attempt.attempt,
                         attempt.launcher,
                         format!("failed to poll worker: {e}"),
-                        Vec::new(),
+                        stderr_tail(&stderr),
                     );
                     continue;
                 }
@@ -971,7 +1013,7 @@ impl Engine<'_> {
     /// full failure report.
     fn finish(&mut self) -> Result<(Vec<ShardDocument>, DispatchSummary), String> {
         for mut orphan in self.active.drain(..) {
-            orphan.kill_and_reap();
+            orphan.kill_and_collect();
             self.summary.reaped += 1;
         }
         if self.states.iter().all(|s| s.doc.is_some()) {

@@ -31,6 +31,7 @@ pub mod prelude;
 pub mod registry;
 pub mod render;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod sweep;
 
@@ -40,5 +41,6 @@ pub use registry::{
     EXPERIMENTS,
 };
 pub use report::ExperimentReport;
+pub use serve::ServeConfig;
 pub use shard::{ShardDocument, ShardManifest, ShardPoolCounters, ShardSpec};
 pub use sweep::{run_sweep, SweepSpec};

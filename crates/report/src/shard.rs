@@ -118,6 +118,21 @@ pub struct ShardPoolCounters {
 }
 
 impl ShardPoolCounters {
+    /// The pool activity since `before`, stamped with the process-wide
+    /// high-water mark — the shared constructor behind the worker-manifest
+    /// telemetry and the serve `stats` verb (DESIGN.md §13).
+    pub fn since(before: &gpu_sim::PoolStats) -> ShardPoolCounters {
+        let delta = gpu_sim::pool::stats().since(before);
+        ShardPoolCounters {
+            checkouts: delta.checkouts,
+            hits: delta.hits,
+            misses: delta.misses,
+            recycled_bytes: delta.recycled_bytes,
+            fresh_bytes: delta.fresh_bytes,
+            high_water_bytes: gpu_sim::pool::stats().high_water_bytes,
+        }
+    }
+
     /// The counters as a JSON value tree.
     pub fn to_json_value(&self) -> Value {
         Value::Object(vec![

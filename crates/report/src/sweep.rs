@@ -184,7 +184,11 @@ pub fn table_header(engine: &dyn workload::Workload) -> Vec<String> {
 
 /// Renders sweep outputs as an experiment-shaped report (id
 /// `sweep_<workload>`, one CSV table named `sweep`).
-fn render_sweep(spec: &SweepSpec, outputs: &[WorkloadOutput]) -> ExperimentReport {
+///
+/// Public so the serve layer (DESIGN.md §13) can rebuild a sweep report
+/// from per-point `Measurement` rows served out of its Params-keyed cache;
+/// `outputs` must be in `spec.sizes` order.
+pub fn render_sweep(spec: &SweepSpec, outputs: &[WorkloadOutput]) -> ExperimentReport {
     let engine = spec.workload;
     let mut report = report_envelope(spec);
     let mut csv = CsvTable::new(table_header(engine));

@@ -14,6 +14,13 @@
 //! `--timeout`, bounded retry/re-shard under `--max-attempts`, and
 //! `--speculate` duplicates of straggling shards — all while the merged
 //! output stays byte-identical to a single-process run.
+//!
+//! `mojo-hpc serve` keeps one process of this binary resident as a TCP
+//! report service ([`experiment_report::serve`], DESIGN.md §13): responses
+//! reuse the `run`/`sweep` stdout bytes, results are cached under the
+//! stable `Params` encoding, and oversized sweeps spill through the same
+//! dispatcher — the serve process re-invokes this binary as its spill
+//! workers exactly like the `shard` coordinator does.
 
 use experiment_report::cli::{self, Command};
 use std::path::Path;

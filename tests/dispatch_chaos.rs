@@ -195,6 +195,186 @@ fn exhausted_retries_fail_loudly_with_shard_attempts_and_stderr_tail() {
 }
 
 #[test]
+fn exhausted_timeouts_quote_the_hung_workers_stderr_tail() {
+    // A hung worker is killed by the timeout, but its drained stderr must
+    // survive the kill: the failure report quotes the chaos notice the
+    // worker printed before it stopped responding. (The timeout-kill path
+    // used to discard the tail entirely.)
+    let out_dir = scratch("hang-exhausted");
+    std::fs::remove_dir_all(&out_dir).ok(); // must stay unwritten
+    let sharded = mojo_hpc_env(
+        &[
+            "shard",
+            "run",
+            "--all",
+            "--workers",
+            "3",
+            "--format",
+            "json",
+            "--timeout",
+            "5",
+            "--max-attempts",
+            "1",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ],
+        &[("MOJO_HPC_CHAOS", "hang:0:*")],
+    );
+    assert_eq!(sharded.status.code(), Some(1), "{}", stderr(&sharded));
+    let diag = stderr(&sharded);
+    assert!(diag.contains("shard 0/3"), "names the hung shard: {diag}");
+    assert!(diag.contains("timed out"), "names the timeout: {diag}");
+    assert!(diag.contains("stderr tail"), "quotes worker stderr: {diag}");
+    assert!(
+        diag.contains("chaos: injecting hang into shard 0"),
+        "the timeout kill must preserve the hung worker's last words: {diag}"
+    );
+    assert!(
+        !out_dir.exists() || std::fs::read_dir(&out_dir).unwrap().next().is_none(),
+        "no partial files on failure"
+    );
+}
+
+#[test]
+fn garbled_attempts_relay_live_per_attempt_stderr_tails_in_order() {
+    // Shard 1 garbles its first two attempts and recovers on the third.
+    // The recovered run still relays each failed attempt's diagnostics
+    // live, in attempt order — without the live notices a retried-and-
+    // recovered run would swallow them entirely (the full failure report
+    // only renders when the whole dispatch fails).
+    let output = assert_recovers("garble-recover", "garble:1:2", &[]);
+    let diag = stderr(&output);
+    assert!(diag.contains("2 retried"), "{diag}");
+    let first = diag
+        .find("dispatch: shard 1/3 attempt 1")
+        .unwrap_or_else(|| panic!("attempt 1 notice missing: {diag}"));
+    let second = diag
+        .find("dispatch: shard 1/3 attempt 2")
+        .unwrap_or_else(|| panic!("attempt 2 notice missing: {diag}"));
+    assert!(first < second, "notices out of attempt order: {diag}");
+    assert!(
+        diag.contains("chaos: injecting garble into shard 1 (attempt 1)"),
+        "attempt 1's own stderr tail must be relayed: {diag}"
+    );
+    assert!(
+        diag.contains("chaos: injecting garble into shard 1 (attempt 2)"),
+        "attempt 2's own stderr tail must be relayed: {diag}"
+    );
+}
+
+/// Live threads of this process, per `/proc/self/task`.
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+/// Direct children of this process currently in Z (zombie) state.
+#[cfg(target_os = "linux")]
+fn zombie_children() -> Vec<u32> {
+    let me = std::process::id();
+    let mut zombies = Vec::new();
+    for entry in std::fs::read_dir("/proc").unwrap().flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // Fields after the parenthesised comm: state, then ppid.
+        let Some(rest) = stat.rsplit(')').next() else {
+            continue;
+        };
+        let mut fields = rest.split_whitespace();
+        let state = fields.next().unwrap_or("");
+        let ppid: u32 = fields.next().and_then(|p| p.parse().ok()).unwrap_or(0);
+        if ppid == me && state == "Z" {
+            zombies.push(pid);
+        }
+    }
+    zombies
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn repeated_timeout_kills_leak_no_zombies_or_drain_threads() {
+    // Drives the dispatcher in-process so this test's own /proc entries
+    // witness the cleanup: every timeout-killed worker must be wait()ed
+    // (no zombie children) and both pipe-drain threads joined (stable
+    // thread count), round after round.
+    use experiment_report::dispatch::{dispatch, DispatchPolicy, Launcher, WorkerTask};
+    use std::time::Duration;
+
+    struct ChaosLocal;
+    impl Launcher for ChaosLocal {
+        fn describe(&self) -> String {
+            "chaos-local".to_string()
+        }
+        fn slots(&self) -> usize {
+            1
+        }
+        fn command(&self, task: &WorkerTask) -> Command {
+            let mut cmd = Command::new(env!("CARGO_BIN_EXE_mojo-hpc"));
+            cmd.args(&task.args).env("MOJO_HPC_CHAOS", "hang:0:*");
+            cmd
+        }
+    }
+
+    let launchers: Vec<Box<dyn Launcher>> = vec![Box::new(ChaosLocal)];
+    let tasks = vec![WorkerTask {
+        shard: 0,
+        shards: 1,
+        args: vec![
+            "run".to_string(),
+            "table1".to_string(),
+            "--shard".to_string(),
+            "0/1".to_string(),
+        ],
+    }];
+    let policy = DispatchPolicy {
+        max_attempts: 2,
+        timeout: Some(Duration::from_secs(1)),
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(10),
+        ..DispatchPolicy::default()
+    };
+
+    // Warm-up round so lazily-created runtime threads don't skew the
+    // baseline taken below.
+    assert!(dispatch(&launchers, &tasks, &policy).is_err());
+    let threads_before = thread_count();
+    for round in 0..3 {
+        assert!(
+            dispatch(&launchers, &tasks, &policy).is_err(),
+            "round {round}: every attempt hangs, the dispatch must fail"
+        );
+        // A concurrently-running test's child may be transiently zombie
+        // between its exit and the harness's wait(); only a *persistent*
+        // zombie is a leak.
+        let mut zombies = zombie_children();
+        for _ in 0..20 {
+            if zombies.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            zombies = zombie_children();
+        }
+        assert!(
+            zombies.is_empty(),
+            "round {round}: leaked zombies {zombies:?}"
+        );
+    }
+    let threads_after = thread_count();
+    // Six timeout kills happened since the baseline; leaking the two
+    // pipe-drain threads per kill would add 12 threads. The slack only
+    // absorbs unrelated harness threads scheduling other tests.
+    assert!(
+        threads_after <= threads_before + 4,
+        "drain threads leaked: {threads_before} -> {threads_after}"
+    );
+}
+
+#[test]
 fn max_attempts_0_degrades_gracefully_naming_completed_ranges() {
     let out_dir = scratch("degraded");
     std::fs::remove_dir_all(&out_dir).ok();
