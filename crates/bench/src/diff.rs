@@ -112,6 +112,13 @@ pub fn parse_group(json: &str) -> Result<BenchGroup, String> {
 
 /// Loads bench records from `path`: a single `.json` file, or a directory
 /// whose `*.json` files are all loaded (sorted by file name).
+///
+/// `target/bench/` also hosts sidecar artifacts that are not group records —
+/// the lane crossover table among them. In directory mode a `.json` file
+/// without a `"group"` key (every group record has one; see [`BenchGroup`])
+/// is skipped rather than rejected, so sidecars ride along in archived bench
+/// artifacts without breaking later diffs. An explicit single-file path is
+/// still parsed strictly.
 pub fn load_records(path: &Path) -> Result<Vec<BenchGroup>, String> {
     let read_one = |file: &Path| -> Result<BenchGroup, String> {
         let text = std::fs::read_to_string(file)
@@ -125,7 +132,16 @@ pub fn load_records(path: &Path) -> Result<Vec<BenchGroup>, String> {
             .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
             .collect();
         files.sort();
-        files.iter().map(|f| read_one(f)).collect()
+        let mut groups = Vec::new();
+        for file in &files {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            if !text.contains("\"group\"") {
+                continue;
+            }
+            groups.push(parse_group(&text).map_err(|e| format!("{}: {e}", file.display()))?);
+        }
+        Ok(groups)
     } else {
         Ok(vec![read_one(path)?])
     }
@@ -374,5 +390,24 @@ mod tests {
         assert!(parse_group("{").is_err());
         assert!(parse_group(r#"{"group": "g"}"#).is_err());
         assert!(load_records(Path::new("/nonexistent/definitely-missing.json")).is_err());
+    }
+
+    #[test]
+    fn directory_loads_skip_sidecar_artifacts() {
+        let dir = std::env::temp_dir().join(format!("bench-diff-sidecar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let record = serde_json::to_string(&group("streams", &[("copy", 10.0)])).unwrap();
+        std::fs::write(dir.join("streams.json"), record).unwrap();
+        // A crossover-table sidecar: valid JSON, but not a bench group.
+        std::fs::write(
+            dir.join("crossover.json"),
+            r#"{"schema": 1, "accumulators": 4, "kernels": []}"#,
+        )
+        .unwrap();
+
+        let records = load_records(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].group, "streams");
     }
 }

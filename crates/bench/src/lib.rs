@@ -53,6 +53,7 @@
 //! resulting `target/bench/*.json` as the build's bench artifact.
 
 pub mod diff;
+pub mod trajectory;
 
 use criterion::BenchmarkGroup;
 use experiment_report::{run_experiment, ExperimentId};

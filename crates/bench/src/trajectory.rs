@@ -1,0 +1,312 @@
+//! Performance-trajectory rendering across archived bench snapshots.
+//!
+//! CI archives every build's `target/bench/*.json` records under a
+//! `bench-trajectory-<sha>` cache key (see `.github/workflows/ci.yml`). This
+//! module walks a directory whose subdirectories are such snapshots and
+//! renders, for every benchmark, the trend of its mean time across the
+//! snapshots — the `mojo-hpc bench-trajectory` subcommand.
+//!
+//! Snapshots are ordered by modification time (oldest first, name as the
+//! tie-break): commit SHAs do not sort chronologically, but the archive's
+//! directory timestamps do.
+
+use crate::diff::{load_records, BenchGroup};
+use std::path::Path;
+
+/// One archived bench snapshot: its directory name and parsed records.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Directory (file) name of the snapshot, e.g. `bench-trajectory-abc123`.
+    pub name: String,
+    /// Bench group records found in the snapshot directory.
+    pub records: Vec<BenchGroup>,
+}
+
+impl Snapshot {
+    /// Display label: the directory name without the `bench-trajectory-`
+    /// archive prefix, truncated to 12 characters (enough for a short SHA).
+    pub fn label(&self) -> &str {
+        let stem = self
+            .name
+            .strip_prefix("bench-trajectory-")
+            .unwrap_or(&self.name);
+        &stem[..stem.len().min(12)]
+    }
+}
+
+/// The mean-time trend of one benchmark across every snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    /// Group name (the record file stem).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean nanoseconds per snapshot, `None` where the benchmark is absent.
+    pub mean_ns: Vec<Option<f64>>,
+}
+
+impl TrendRow {
+    /// Relative change from the first to the last snapshot that has this
+    /// benchmark, `(last - first) / first` (positive = slower). `None` with
+    /// fewer than two data points.
+    pub fn overall_change(&self) -> Option<f64> {
+        let mut present = self.mean_ns.iter().flatten();
+        let first = *present.next()?;
+        let last = *present.last()?;
+        (first != 0.0).then(|| (last - first) / first)
+    }
+}
+
+/// A full trajectory: the snapshot names (chronological) and one trend row
+/// per benchmark observed in any snapshot.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Snapshots in chronological order.
+    pub snapshots: Vec<Snapshot>,
+    /// One row per `(group, id)`, sorted for deterministic output.
+    pub rows: Vec<TrendRow>,
+}
+
+/// Loads every snapshot subdirectory of `root`, ordered by modification
+/// time (oldest first) with the directory name as the tie-break.
+pub fn load_snapshots(root: &Path) -> Result<Vec<Snapshot>, String> {
+    let mut dirs: Vec<(std::time::SystemTime, String)> = std::fs::read_dir(root)
+        .map_err(|e| format!("cannot read {}: {e}", root.display()))?
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.path().is_dir())
+        .filter_map(|entry| {
+            let name = entry.file_name().into_string().ok()?;
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            Some((mtime, name))
+        })
+        .collect();
+    dirs.sort();
+    dirs.into_iter()
+        .map(|(_, name)| {
+            let records = load_records(&root.join(&name))?;
+            Ok(Snapshot { name, records })
+        })
+        .collect()
+}
+
+/// Builds the trajectory over `snapshots`: the union of every `(group, id)`
+/// pair, each row carrying that benchmark's mean time per snapshot.
+pub fn trajectory(snapshots: Vec<Snapshot>) -> Trajectory {
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for snapshot in &snapshots {
+        for group in &snapshot.records {
+            for bench in &group.benchmarks {
+                let key = (group.group.clone(), bench.id.clone());
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+    }
+    keys.sort();
+    let rows = keys
+        .into_iter()
+        .map(|(group, id)| {
+            let mean_ns = snapshots
+                .iter()
+                .map(|snapshot| {
+                    snapshot
+                        .records
+                        .iter()
+                        .find(|g| g.group == group)
+                        .and_then(|g| g.benchmarks.iter().find(|b| b.id == id))
+                        .map(|b| b.mean_ns)
+                })
+                .collect();
+            TrendRow { group, id, mean_ns }
+        })
+        .collect();
+    Trajectory { snapshots, rows }
+}
+
+/// Renders the trajectory as an aligned console table: one row per
+/// benchmark, one column per snapshot (mean ns), plus the overall relative
+/// change.
+pub fn render(t: &Trajectory) -> String {
+    if t.snapshots.is_empty() {
+        return "no bench snapshots found\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench trajectory over {} snapshot(s):\n",
+        t.snapshots.len()
+    ));
+    let name_width = t
+        .rows
+        .iter()
+        .map(|r| r.group.len() + 1 + r.id.len())
+        .chain(std::iter::once("benchmark".len()))
+        .max()
+        .unwrap_or(0);
+    let col_width = t
+        .snapshots
+        .iter()
+        .map(|s| s.label().len())
+        .max()
+        .unwrap_or(0)
+        .max(12);
+    out.push_str(&format!("{:<name_width$}", "benchmark"));
+    for snapshot in &t.snapshots {
+        out.push_str(&format!("  {:>col_width$}", snapshot.label()));
+    }
+    out.push_str("    change\n");
+    for row in &t.rows {
+        out.push_str(&format!(
+            "{:<name_width$}",
+            format!("{}/{}", row.group, row.id)
+        ));
+        for mean in &row.mean_ns {
+            match mean {
+                Some(ns) => out.push_str(&format!("  {:>col_width$.1}", ns)),
+                None => out.push_str(&format!("  {:>col_width$}", "-")),
+            }
+        }
+        match row.overall_change() {
+            Some(change) => out.push_str(&format!("  {:>+7.1}%\n", change * 100.0)),
+            None => out.push_str("        -\n"),
+        }
+    }
+    out
+}
+
+/// Renders the trajectory as CSV: `group,id,<snapshot>...` with raw mean
+/// nanoseconds (empty cell where a benchmark is absent from a snapshot).
+pub fn to_csv(t: &Trajectory) -> String {
+    let mut out = String::from("group,id");
+    for snapshot in &t.snapshots {
+        out.push(',');
+        out.push_str(&snapshot.name);
+    }
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&row.group);
+        out.push(',');
+        out.push_str(&row.id);
+        for mean in &row.mean_ns {
+            out.push(',');
+            if let Some(ns) = mean {
+                out.push_str(&format!("{ns}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::BenchMeasurement;
+
+    fn group(name: &str, ids: &[(&str, f64)]) -> BenchGroup {
+        BenchGroup {
+            group: name.to_string(),
+            benchmarks: ids
+                .iter()
+                .map(|&(id, mean)| BenchMeasurement {
+                    id: id.to_string(),
+                    samples: 1,
+                    mean_ns: mean,
+                    min_ns: mean as u64,
+                    max_ns: mean as u64,
+                    throughput: None,
+                })
+                .collect(),
+            counters: None,
+        }
+    }
+
+    fn snapshot(name: &str, records: Vec<BenchGroup>) -> Snapshot {
+        Snapshot {
+            name: name.to_string(),
+            records,
+        }
+    }
+
+    #[test]
+    fn rows_cover_the_union_of_benchmarks_in_sorted_order() {
+        let t = trajectory(vec![
+            snapshot("s1", vec![group("g", &[("b", 100.0), ("a", 10.0)])]),
+            snapshot("s2", vec![group("g", &[("a", 20.0), ("c", 5.0)])]),
+        ]);
+        let keys: Vec<String> = t
+            .rows
+            .iter()
+            .map(|r| format!("{}/{}", r.group, r.id))
+            .collect();
+        assert_eq!(keys, vec!["g/a", "g/b", "g/c"]);
+        assert_eq!(t.rows[0].mean_ns, vec![Some(10.0), Some(20.0)]);
+        assert_eq!(t.rows[1].mean_ns, vec![Some(100.0), None]);
+        assert_eq!(t.rows[2].mean_ns, vec![None, Some(5.0)]);
+    }
+
+    #[test]
+    fn overall_change_spans_first_to_last_present_snapshot() {
+        let row = TrendRow {
+            group: "g".to_string(),
+            id: "a".to_string(),
+            mean_ns: vec![Some(100.0), None, Some(150.0)],
+        };
+        assert!((row.overall_change().unwrap() - 0.5).abs() < 1e-12);
+        let single = TrendRow {
+            group: "g".to_string(),
+            id: "a".to_string(),
+            mean_ns: vec![None, Some(100.0), None],
+        };
+        assert_eq!(single.overall_change(), None);
+    }
+
+    #[test]
+    fn labels_strip_the_archive_prefix_and_truncate() {
+        let s = snapshot("bench-trajectory-0123456789abcdef0123", vec![]);
+        assert_eq!(s.label(), "0123456789ab");
+        assert_eq!(snapshot("short", vec![]).label(), "short");
+    }
+
+    #[test]
+    fn render_and_csv_are_shaped_by_the_snapshots() {
+        let t = trajectory(vec![
+            snapshot("s1", vec![group("g", &[("a", 100.0)])]),
+            snapshot("s2", vec![group("g", &[("a", 110.0)])]),
+        ]);
+        let text = render(&t);
+        assert!(text.contains("g/a"));
+        assert!(text.contains("+10.0%"));
+        let csv = to_csv(&t);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("group,id,s1,s2"));
+        assert_eq!(lines.next(), Some("g,a,100,110"));
+        assert!(render(&trajectory(Vec::new())).contains("no bench snapshots"));
+    }
+
+    #[test]
+    fn snapshots_load_from_disk_oldest_first() {
+        let base = std::env::temp_dir().join(format!("bench-traj-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        for (name, mean) in [("older", 100.0), ("newer", 120.0)] {
+            let dir = base.join(format!("bench-trajectory-{name}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let record = serde_json::to_string(&group("g", &[("a", mean)])).unwrap();
+            std::fs::write(dir.join("g.json"), record).unwrap();
+            // Distinct mtimes so the chronological order is unambiguous.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let snapshots = load_snapshots(&base).unwrap();
+        assert_eq!(snapshots.len(), 2);
+        assert_eq!(snapshots[0].name, "bench-trajectory-older");
+        assert_eq!(snapshots[1].name, "bench-trajectory-newer");
+        let t = trajectory(snapshots);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].mean_ns, vec![Some(100.0), Some(120.0)]);
+        assert!(load_snapshots(&base.join("missing")).is_err());
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

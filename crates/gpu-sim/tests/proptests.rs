@@ -11,7 +11,6 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Linearising and delinearising a Dim3 index is a bijection.
-    #[test]
     fn dim3_linearisation_round_trips(x in 1u32..32, y in 1u32..16, z in 1u32..8, pick in 0u64..4096) {
         let dim = Dim3::new(x, y, z);
         let linear = pick % dim.total();
@@ -21,7 +20,6 @@ proptest! {
     }
 
     /// cover_1d always launches at least `n` threads but never a whole extra block more.
-    #[test]
     fn cover_1d_is_tight(n in 1u64..5_000_000, block in 1u32..1024) {
         let cfg = LaunchConfig::cover_1d(n, block);
         prop_assert!(cfg.total_threads() >= n);
@@ -29,7 +27,6 @@ proptest! {
     }
 
     /// Every simulated thread runs exactly once regardless of launch shape.
-    #[test]
     fn flat_executor_touches_each_global_id_once(
         blocks in 1u32..24, threads in 1u32..96,
     ) {
@@ -47,7 +44,6 @@ proptest! {
     }
 
     /// Timing is monotone in traffic: strictly more bytes never runs faster.
-    #[test]
     fn timing_is_monotone_in_bytes(
         bytes_a in 1u64..1_000_000_000u64,
         extra in 1u64..1_000_000_000u64,
@@ -71,7 +67,6 @@ proptest! {
 
     /// Lowering any efficiency never makes a kernel faster, and fast-math
     /// (cheaper transcendentals) never makes it slower.
-    #[test]
     fn timing_is_monotone_in_efficiencies(
         mem_eff in 0.1f64..1.0,
         comp_eff in 0.1f64..1.0,
@@ -103,7 +98,6 @@ proptest! {
     }
 
     /// FlopCounts::combine is commutative and scale distributes over totals.
-    #[test]
     fn flop_counts_algebra(
         a in 0u64..1_000_000, m in 0u64..1_000_000, f in 0u64..1_000_000,
         t in 0u64..1_000_000, factor in 1u64..1000,

@@ -22,7 +22,9 @@
 //! costs one uncontended map-mutex fetch of the cell plus an `Arc` clone —
 //! no per-cell claim bookkeeping.
 
-use crate::hartree_fock::{reference_fock, HartreeFockConfig, HeliumSystem, SampledPlan};
+use crate::hartree_fock::{
+    reference_fock, HartreeFockConfig, HeliumSystem, SampleWeighting, SampledPlan,
+};
 use crate::minibude::{reference_energies, Deck, MiniBudeConfig};
 use crate::stencil7::{initialize_grid, reference_laplacian, StencilConfig};
 use gpu_sim::memory::Device;
@@ -239,6 +241,7 @@ struct SampledKey {
     fock: FockKey,
     samples: u64,
     shards: u64,
+    weighting: SampleWeighting,
 }
 
 static SAMPLED: Memo<SampledKey, SampledPlan> = Memo::new();
@@ -246,13 +249,19 @@ static SAMPLED: Memo<SampledKey, SampledPlan> = Memo::new();
 /// The shared run-invariant plan of a sampled Hartree–Fock validation: the
 /// stratified probe set, its CPU-reference ERIs and the expected Fock
 /// contributions. Sampling is purely arithmetic (no RNG), so the plan is a
-/// function of the system, tolerance and probe counts alone.
-pub fn sampled_plan(config: &HartreeFockConfig, samples: u64, shards: u64) -> Arc<SampledPlan> {
+/// function of the system, tolerance, probe counts and weighting alone.
+pub fn sampled_plan(
+    config: &HartreeFockConfig,
+    samples: u64,
+    shards: u64,
+    weighting: SampleWeighting,
+) -> Arc<SampledPlan> {
     SAMPLED.get_or_generate(
         SampledKey {
             fock: fock_key(config),
             samples,
             shards,
+            weighting,
         },
         || {
             SampledPlan::generate(
@@ -261,6 +270,7 @@ pub fn sampled_plan(config: &HartreeFockConfig, samples: u64, shards: u64) -> Ar
                 config.nquartets(),
                 samples,
                 shards,
+                weighting,
             )
         },
     )

@@ -81,7 +81,11 @@ impl Workload for MiniBudeWorkload {
         Ok(())
     }
 
-    fn run(&self, params: &Params) -> Result<WorkloadOutput, WorkloadError> {
+    fn run_lane(
+        &self,
+        params: &Params,
+        policy: crate::simd::LanePolicy,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         self.validate(params)?;
         let config = config(params)?;
         let sizes = MiniBudeSizes {
@@ -92,7 +96,7 @@ impl Workload for MiniBudeWorkload {
         };
         let mut measurements = PooledVec::new();
         for platform in paper_platform_pairs() {
-            let run = super::run(platform, &config)?;
+            let run = super::run_lane(platform, &config, policy)?;
             let fom = minibude_gflops(&sizes, run.seconds());
             measurements.push(Measurement::from_run(&run, fom));
         }

@@ -1,0 +1,1414 @@
+//! The explicit SIMD fast lane and its measured crossover tables.
+//!
+//! Every hot kernel in this crate has two implementations:
+//!
+//! * the **deterministic lane** — scalar loops and the fixed-chunk pairwise
+//!   tree reduction of the rayon shim. Bitwise-stable across thread counts;
+//!   the association every golden fixture was recorded with.
+//! * the **SIMD lane** — hand-unrolled multi-accumulator kernels (4–8
+//!   independent `f64`/`f32` accumulators) that break the floating-point
+//!   dependency chain so the out-of-order core can keep its FMA ports busy.
+//!   Strict IEEE, no fast-math: the only liberty taken is *reassociation*,
+//!   and only where it is either exactly neutral (element-wise streams,
+//!   max-reductions, the stencil) or bounded by a documented per-kernel
+//!   tolerance (reassociated `f64`/`f32` sums).
+//!
+//! Which lane runs is decided per kernel per size by [`resolve`], driven by a
+//! [`LanePolicy`]: `deterministic` (the default — golden output stays
+//! byte-identical), `simd` (force the fast lane), or `auto` (consult the
+//! bench-measured [`CrossoverTable`]). The crossover table is produced by
+//! `cargo bench -p bench --bench crossover`, written to
+//! `target/bench/crossover.json`, and a cross-machine default is committed at
+//! `crates/kernels/src/simd/crossover_default.json`; the `MOJO_HPC_CROSSOVER`
+//! environment variable points the resolver at a locally measured table.
+//!
+//! Per-kernel lane-parity tolerances (relative, proven by
+//! `tests/lane_parity.rs` and the unit tests below):
+//!
+//! | kernel | tolerance | why |
+//! |---|---|---|
+//! | `babelstream_copy`/`mul`/`add`/`triad`/`nstream` | exact (bitwise) | element-wise, no reassociation |
+//! | `stencil7` | exact (bitwise) | per-element expression unchanged, only the inner loop is unrolled |
+//! | `babelstream_dot` | 1e-12 | reassociated `f64` sum (4 accumulators per [`rayon::REDUCE_CHUNK`] chunk) |
+//! | `fock_eri` | 1e-12 | reassociated `f64` sum of quartet ERIs |
+//! | `minibude_pose` | 2e-3 | reassociated `f32` sum over protein atoms (the driver's own tolerance) |
+//!
+//! All scratch comes from `gpu_sim::pool`, so steady-state launches with the
+//! SIMD lane active stay at zero global allocations
+//! (`tests/alloc_steady_state.rs`).
+
+use crate::babelstream::{INIT_A, INIT_B, INIT_C};
+use crate::cache;
+use crate::hartree_fock::{pair_decode, quartet_eri, HartreeFockConfig, HeliumSystem};
+use crate::minibude::{pair_energy, transform_point, Deck, MiniBudeConfig, HALF};
+use crate::real::Real;
+use crate::stencil7::StencilConfig;
+use gpu_sim::PooledVec;
+use gpu_spec::Precision;
+use rayon::prelude::*;
+use serde::value::Value;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Explicit `core::simd` variants, gated behind the opt-in `nightly-simd`
+/// cargo feature (requires a nightly toolchain with `portable_simd`). The
+/// stable builds ship the hand-unrolled scalar kernels of this module, which
+/// the auto-vectorizer lowers to the same vector instructions; this gated
+/// module exists so a nightly toolchain can compare against first-class
+/// `f64x4` codegen without changing any call site.
+#[cfg(feature = "nightly-simd")]
+pub mod portable_simd {
+    use core::simd::f64x4;
+    use core::simd::num::SimdFloat;
+
+    /// `f64x4` dot product: one vector accumulator, horizontal reduction at
+    /// the end, scalar tail. Same reassociation class as [`super::dot`].
+    pub fn dot_f64x4(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let mut acc = f64x4::splat(0.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = f64x4::from_slice(&a[i..i + 4]);
+            let vb = f64x4::from_slice(&b[i..i + 4]);
+            acc += va * vb;
+            i += 4;
+        }
+        let mut total = acc.reduce_sum();
+        while i < n {
+            total += a[i] * b[i];
+            i += 1;
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lanes and policies
+// ---------------------------------------------------------------------------
+
+/// Which implementation of a kernel actually runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// The golden scalar / fixed-tree lane the byte-identical fixtures pin.
+    Deterministic,
+    /// The hand-unrolled multi-accumulator fast lane.
+    Simd,
+}
+
+impl Lane {
+    /// Stable label used in the crossover table JSON and diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Lane::Deterministic => "deterministic",
+            Lane::Simd => "simd",
+        }
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Lane {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "deterministic" => Ok(Lane::Deterministic),
+            "simd" => Ok(Lane::Simd),
+            other => Err(format!(
+                "unknown lane '{other}' (expected deterministic or simd)"
+            )),
+        }
+    }
+}
+
+/// How the drivers pick a [`Lane`]: pinned to either lane, or data-driven
+/// through the crossover table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LanePolicy {
+    /// Always the deterministic lane (the default: golden output stays
+    /// byte-identical).
+    #[default]
+    Deterministic,
+    /// Always the SIMD fast lane.
+    Simd,
+    /// Per kernel per size, whichever lane the measured crossover table says
+    /// is fastest (unknown kernels fall back to deterministic).
+    Auto,
+}
+
+impl LanePolicy {
+    /// Stable label (the `--lane` CLI keyword).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LanePolicy::Deterministic => "deterministic",
+            LanePolicy::Simd => "simd",
+            LanePolicy::Auto => "auto",
+        }
+    }
+}
+
+impl fmt::Display for LanePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for LanePolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "deterministic" => Ok(LanePolicy::Deterministic),
+            "simd" => Ok(LanePolicy::Simd),
+            "auto" => Ok(LanePolicy::Auto),
+            other => Err(format!(
+                "unknown lane policy '{other}' (expected auto, deterministic or simd)"
+            )),
+        }
+    }
+}
+
+/// The process-wide lane policy, set **once** at CLI startup (before any
+/// kernel runs) so the paper-experiment builders — which call the family
+/// drivers directly — honour `--lane` without threading a parameter through
+/// every figure. Library callers that need a per-call policy use
+/// [`crate::workload::Workload::run_lane`] instead and never touch this.
+static PROCESS_POLICY: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default lane policy consulted by [`process_policy`].
+pub fn set_process_policy(policy: LanePolicy) {
+    let encoded = match policy {
+        LanePolicy::Deterministic => 0,
+        LanePolicy::Simd => 1,
+        LanePolicy::Auto => 2,
+    };
+    PROCESS_POLICY.store(encoded, Ordering::Relaxed);
+}
+
+/// The process-wide default lane policy ([`LanePolicy::Deterministic`] unless
+/// [`set_process_policy`] was called).
+pub fn process_policy() -> LanePolicy {
+    match PROCESS_POLICY.load(Ordering::Relaxed) {
+        1 => LanePolicy::Simd,
+        2 => LanePolicy::Auto,
+        _ => LanePolicy::Deterministic,
+    }
+}
+
+/// Resolves a policy to a concrete [`Lane`] for one kernel at one size.
+/// `Auto` consults the [active crossover table](CrossoverTable::active);
+/// kernels the table does not know fall back to the deterministic lane.
+pub fn resolve(policy: LanePolicy, kernel: &str, size: u64) -> Lane {
+    match policy {
+        LanePolicy::Deterministic => Lane::Deterministic,
+        LanePolicy::Simd => Lane::Simd,
+        LanePolicy::Auto => CrossoverTable::active()
+            .fastest_lane(kernel, size)
+            .unwrap_or(Lane::Deterministic),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel identifiers (crossover-table keys)
+// ---------------------------------------------------------------------------
+
+/// Crossover-table key of the BabelStream Copy kernel.
+pub const KERNEL_COPY: &str = "babelstream_copy";
+/// Crossover-table key of the BabelStream Mul kernel.
+pub const KERNEL_MUL: &str = "babelstream_mul";
+/// Crossover-table key of the BabelStream Add kernel.
+pub const KERNEL_ADD: &str = "babelstream_add";
+/// Crossover-table key of the BabelStream Triad kernel.
+pub const KERNEL_TRIAD: &str = "babelstream_triad";
+/// Crossover-table key of the BabelStream Nstream kernel
+/// (`a[i] += b[i] + scalar * c[i]`, the classic sixth stream op).
+pub const KERNEL_NSTREAM: &str = "babelstream_nstream";
+/// Crossover-table key of the BabelStream Dot reduction.
+pub const KERNEL_DOT: &str = "babelstream_dot";
+/// Crossover-table key of the seven-point stencil inner loop.
+pub const KERNEL_STENCIL7: &str = "stencil7";
+/// Crossover-table key of the miniBUDE pose-energy inner loop.
+pub const KERNEL_MINIBUDE_POSE: &str = "minibude_pose";
+/// Crossover-table key of the Fock-matrix / ERI partial sums.
+pub const KERNEL_FOCK_ERI: &str = "fock_eri";
+
+// ---------------------------------------------------------------------------
+// Crossover table
+// ---------------------------------------------------------------------------
+
+/// Schema version of the crossover-table JSON.
+pub const CROSSOVER_SCHEMA: u64 = 1;
+
+/// Environment variable naming a locally measured crossover table that
+/// overrides the committed default for `--lane auto`.
+pub const CROSSOVER_ENV: &str = "MOJO_HPC_CROSSOVER";
+
+/// The committed cross-machine default table (regenerated by
+/// `cargo bench -p bench --bench crossover`).
+const DEFAULT_CROSSOVER_JSON: &str = include_str!("simd/crossover_default.json");
+
+/// One measured (kernel, size) point: both lane timings and the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossoverEntry {
+    /// Kernel key (one of the `KERNEL_*` constants).
+    pub kernel: String,
+    /// Problem size (elements, grid side, poses or atoms — the kernel's own
+    /// size axis).
+    pub size: u64,
+    /// Best deterministic-lane time, nanoseconds.
+    pub deterministic_ns: f64,
+    /// Best SIMD-lane time, nanoseconds.
+    pub simd_ns: f64,
+    /// `deterministic_ns / simd_ns` (`> 1` means the SIMD lane is faster).
+    pub speedup: f64,
+    /// The faster lane at this point.
+    pub fastest: Lane,
+}
+
+/// A bench-measured per-kernel crossover table: for every kernel and size,
+/// which lane was fastest and by how much.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CrossoverTable {
+    /// The measured points, sorted by kernel then size.
+    pub entries: Vec<CrossoverEntry>,
+}
+
+impl CrossoverTable {
+    /// Builds a table, sorting the entries into (kernel, size) order.
+    pub fn new(mut entries: Vec<CrossoverEntry>) -> Self {
+        entries.sort_by(|a, b| a.kernel.cmp(&b.kernel).then(a.size.cmp(&b.size)));
+        CrossoverTable { entries }
+    }
+
+    /// The fastest lane for `kernel` at `size`: the entry with the largest
+    /// measured size `<= size` (sizes between measurements inherit the verdict
+    /// below them), or the smallest measured size when `size` undershoots
+    /// every measurement. `None` for kernels the table does not know.
+    pub fn fastest_lane(&self, kernel: &str, size: u64) -> Option<Lane> {
+        let mut below: Option<&CrossoverEntry> = None;
+        let mut smallest: Option<&CrossoverEntry> = None;
+        for entry in self.entries.iter().filter(|e| e.kernel == kernel) {
+            if entry.size <= size && below.is_none_or(|b| entry.size > b.size) {
+                below = Some(entry);
+            }
+            if smallest.is_none_or(|s| entry.size < s.size) {
+                smallest = Some(entry);
+            }
+        }
+        below.or(smallest).map(|e| e.fastest)
+    }
+
+    /// Renders the table as pretty-printed JSON (the
+    /// `target/bench/crossover.json` format).
+    pub fn to_json_pretty(&self) -> String {
+        let kernels = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("kernel".to_string(), Value::Str(e.kernel.clone())),
+                    ("size".to_string(), Value::U64(e.size)),
+                    (
+                        "deterministic_ns".to_string(),
+                        Value::F64(e.deterministic_ns),
+                    ),
+                    ("simd_ns".to_string(), Value::F64(e.simd_ns)),
+                    ("speedup".to_string(), Value::F64(e.speedup)),
+                    (
+                        "fastest".to_string(),
+                        Value::Str(e.fastest.label().to_string()),
+                    ),
+                ])
+            })
+            .collect();
+        let root = Value::Object(vec![
+            ("schema".to_string(), Value::U64(CROSSOVER_SCHEMA)),
+            (
+                "accumulators".to_string(),
+                Value::U64(rayon::SUM_LANES as u64),
+            ),
+            ("kernels".to_string(), Value::Array(kernels)),
+        ]);
+        let mut json = serde_json::to_string_pretty(&root).expect("crossover table serialises");
+        json.push('\n');
+        json
+    }
+
+    /// Parses and schema-checks a crossover table (the inverse of
+    /// [`Self::to_json_pretty`]).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+        let schema = json_u64(json_field(&value, "schema")?)?;
+        if schema != CROSSOVER_SCHEMA {
+            return Err(format!(
+                "unsupported crossover schema {schema} (this binary speaks {CROSSOVER_SCHEMA})"
+            ));
+        }
+        let Value::Array(kernels) = json_field(&value, "kernels")? else {
+            return Err("'kernels' must be an array".to_string());
+        };
+        let mut entries = Vec::with_capacity(kernels.len());
+        for record in kernels {
+            let kernel = json_str(json_field(record, "kernel")?)?.to_string();
+            let size = json_u64(json_field(record, "size")?)?;
+            let deterministic_ns = json_f64(json_field(record, "deterministic_ns")?)?;
+            let simd_ns = json_f64(json_field(record, "simd_ns")?)?;
+            let speedup = json_f64(json_field(record, "speedup")?)?;
+            if !(deterministic_ns > 0.0 && simd_ns > 0.0 && speedup > 0.0) {
+                return Err(format!(
+                    "crossover entry {kernel}@{size} has non-positive timings"
+                ));
+            }
+            let fastest: Lane = json_str(json_field(record, "fastest")?)?.parse()?;
+            entries.push(CrossoverEntry {
+                kernel,
+                size,
+                deterministic_ns,
+                simd_ns,
+                speedup,
+                fastest,
+            });
+        }
+        Ok(CrossoverTable::new(entries))
+    }
+
+    /// The committed cross-machine default table.
+    pub fn builtin() -> &'static CrossoverTable {
+        static BUILTIN: OnceLock<CrossoverTable> = OnceLock::new();
+        BUILTIN.get_or_init(|| {
+            CrossoverTable::parse(DEFAULT_CROSSOVER_JSON).expect("committed crossover table parses")
+        })
+    }
+
+    /// The table `--lane auto` consults: the file named by
+    /// [`CROSSOVER_ENV`] when set and readable (a warning is printed and the
+    /// default used otherwise), else the committed default. Loaded once per
+    /// process.
+    pub fn active() -> &'static CrossoverTable {
+        static ACTIVE: OnceLock<CrossoverTable> = OnceLock::new();
+        ACTIVE.get_or_init(|| {
+            if let Ok(path) = std::env::var(CROSSOVER_ENV) {
+                match std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| CrossoverTable::parse(&text))
+                {
+                    Ok(table) => return table,
+                    Err(e) => eprintln!("warning: ignoring {CROSSOVER_ENV}={path}: {e}"),
+                }
+            }
+            CrossoverTable::builtin().clone()
+        })
+    }
+}
+
+fn json_field<'a>(value: &'a Value, name: &str) -> Result<&'a Value, String> {
+    let Value::Object(fields) = value else {
+        return Err(format!("expected an object with field '{name}'"));
+    };
+    fields
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{name}'"))
+}
+
+fn json_str(value: &Value) -> Result<&str, String> {
+    match value {
+        Value::Str(s) => Ok(s),
+        other => Err(format!("expected a string, got {other:?}")),
+    }
+}
+
+fn json_u64(value: &Value) -> Result<u64, String> {
+    match value {
+        Value::U64(v) => Ok(*v),
+        other => Err(format!("expected an unsigned integer, got {other:?}")),
+    }
+}
+
+fn json_f64(value: &Value) -> Result<f64, String> {
+    match value {
+        Value::F64(v) => Ok(*v),
+        Value::U64(v) => Ok(*v as f64),
+        Value::I64(v) => Ok(*v as f64),
+        other => Err(format!("expected a number, got {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-accumulator stream kernels (element-wise: bitwise-exact)
+// ---------------------------------------------------------------------------
+
+/// BabelStream Copy, unrolled by 4. Element-wise: bitwise-identical to the
+/// scalar loop.
+pub fn stream_copy<T: Real>(dst: &mut [T], src: &[T]) {
+    let n = dst.len().min(src.len());
+    let (d, s) = (&mut dst[..n], &src[..n]);
+    let mut i = 0;
+    while i + 4 <= n {
+        d[i] = s[i];
+        d[i + 1] = s[i + 1];
+        d[i + 2] = s[i + 2];
+        d[i + 3] = s[i + 3];
+        i += 4;
+    }
+    while i < n {
+        d[i] = s[i];
+        i += 1;
+    }
+}
+
+/// BabelStream Mul (`dst[i] = scalar * src[i]`), unrolled by 4. Bitwise-exact.
+pub fn stream_mul<T: Real>(dst: &mut [T], src: &[T], scalar: T) {
+    let n = dst.len().min(src.len());
+    let (d, s) = (&mut dst[..n], &src[..n]);
+    let mut i = 0;
+    while i + 4 <= n {
+        d[i] = scalar * s[i];
+        d[i + 1] = scalar * s[i + 1];
+        d[i + 2] = scalar * s[i + 2];
+        d[i + 3] = scalar * s[i + 3];
+        i += 4;
+    }
+    while i < n {
+        d[i] = scalar * s[i];
+        i += 1;
+    }
+}
+
+/// BabelStream Add (`dst[i] = a[i] + b[i]`), unrolled by 4. Bitwise-exact.
+pub fn stream_add<T: Real>(dst: &mut [T], a: &[T], b: &[T]) {
+    let n = dst.len().min(a.len()).min(b.len());
+    let (d, a, b) = (&mut dst[..n], &a[..n], &b[..n]);
+    let mut i = 0;
+    while i + 4 <= n {
+        d[i] = a[i] + b[i];
+        d[i + 1] = a[i + 1] + b[i + 1];
+        d[i + 2] = a[i + 2] + b[i + 2];
+        d[i + 3] = a[i + 3] + b[i + 3];
+        i += 4;
+    }
+    while i < n {
+        d[i] = a[i] + b[i];
+        i += 1;
+    }
+}
+
+/// BabelStream Triad (`dst[i] = b[i] + scalar * c[i]`), unrolled by 4.
+/// Bitwise-exact.
+pub fn stream_triad<T: Real>(dst: &mut [T], b: &[T], c: &[T], scalar: T) {
+    let n = dst.len().min(b.len()).min(c.len());
+    let (d, b, c) = (&mut dst[..n], &b[..n], &c[..n]);
+    let mut i = 0;
+    while i + 4 <= n {
+        d[i] = b[i] + scalar * c[i];
+        d[i + 1] = b[i + 1] + scalar * c[i + 1];
+        d[i + 2] = b[i + 2] + scalar * c[i + 2];
+        d[i + 3] = b[i + 3] + scalar * c[i + 3];
+        i += 4;
+    }
+    while i < n {
+        d[i] = b[i] + scalar * c[i];
+        i += 1;
+    }
+}
+
+/// BabelStream Nstream (`a[i] += b[i] + scalar * c[i]`), unrolled by 4.
+/// Bitwise-exact.
+pub fn stream_nstream<T: Real>(a: &mut [T], b: &[T], c: &[T], scalar: T) {
+    let n = a.len().min(b.len()).min(c.len());
+    let (a, b, c) = (&mut a[..n], &b[..n], &c[..n]);
+    let mut i = 0;
+    while i + 4 <= n {
+        a[i] += b[i] + scalar * c[i];
+        a[i + 1] += b[i + 1] + scalar * c[i + 1];
+        a[i + 2] += b[i + 2] + scalar * c[i + 2];
+        a[i + 3] += b[i + 3] + scalar * c[i + 3];
+        i += 4;
+    }
+    while i < n {
+        a[i] += b[i] + scalar * c[i];
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-accumulator reductions (reassociated: documented tolerances)
+// ---------------------------------------------------------------------------
+
+/// Serial dot product with 8 independent accumulators: element `i` lands in
+/// accumulator `i % 8`, lanes combine pairwise at the end. Reassociated
+/// relative to a left-to-right fold (≤ ~1e-12 relative for well-conditioned
+/// `f64` inputs); accumulation happens in `T` to mirror the device kernel.
+pub fn dot<T: Real>(a: &[T], b: &[T]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [T::from_f64(0.0); 8];
+    let mut i = 0;
+    while i + 8 <= n {
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+        acc[4] += a[i + 4] * b[i + 4];
+        acc[5] += a[i + 5] * b[i + 5];
+        acc[6] += a[i + 6] * b[i + 6];
+        acc[7] += a[i + 7] * b[i + 7];
+        i += 8;
+    }
+    while i < n {
+        acc[0] += a[i] * b[i];
+        i += 1;
+    }
+    let q0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let q1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+    (q0 + q1).to_f64()
+}
+
+/// Largest `ngauss * ngauss` the fast-lane ERI keeps its hoisted pair table
+/// on the stack; wider contractions (ngauss > 8 — nothing in the paper's
+/// decks) fall back to the reference loop.
+const ERI_PAIR_TABLE: usize = 64;
+
+/// Fast-lane quartet ERI: same arithmetic as
+/// [`quartet_eri`], restructured for
+/// throughput. The `(kb, lb)` Gaussian pair terms (`akl` and the `exp`-bearing
+/// `dkl`) are invariant across the outer `(ib, jb)` loops, so they are
+/// hoisted into a stack table — cutting the `exp` count from `ngauss^4` to
+/// `2 ngauss^2` — and the surviving inner loop (div, sqrt, multiply—add over
+/// a flat slice) runs 4 independent accumulators so the auto-vectorizer can
+/// lower it to packed operations. Reassociated products and sums: within
+/// ~1e-12 relative of the reference nest.
+pub fn quartet_eri_unrolled(system: &HeliumSystem, ij: u64, kl: u64) -> f64 {
+    let ngauss = system.ngauss;
+    let npairs = ngauss * ngauss;
+    if npairs > ERI_PAIR_TABLE {
+        return quartet_eri(system, ij, kl);
+    }
+    let (i, j) = pair_decode(ij);
+    let (k, l) = pair_decode(kl);
+    let r2_ij = system.distance2(i as usize, j as usize);
+    let r2_kl = system.distance2(k as usize, l as usize);
+    let rpq2 = system.pair_distance2(ij, kl);
+
+    let mut akl_t = [0.0f64; ERI_PAIR_TABLE];
+    let mut dkl_t = [0.0f64; ERI_PAIR_TABLE];
+    for kb in 0..ngauss {
+        for lb in 0..ngauss {
+            let akl = system.xpnt[kb] + system.xpnt[lb];
+            akl_t[kb * ngauss + lb] = akl;
+            dkl_t[kb * ngauss + lb] = system.coef[kb]
+                * system.coef[lb]
+                * (-system.xpnt[kb] * system.xpnt[lb] / akl * r2_kl).exp();
+        }
+    }
+
+    let term = |aij: f64, p: usize| {
+        let akl = akl_t[p];
+        let aijkl = aij * akl / (aij + akl);
+        let t = aijkl * rpq2;
+        dkl_t[p] * aijkl.sqrt() / (1.0 + t).sqrt()
+    };
+    let mut eri = 0.0f64;
+    for ib in 0..ngauss {
+        for jb in 0..ngauss {
+            let aij = system.xpnt[ib] + system.xpnt[jb];
+            let dij = system.coef[ib]
+                * system.coef[jb]
+                * (-system.xpnt[ib] * system.xpnt[jb] / aij * r2_ij).exp();
+            let mut acc = [0.0f64; 4];
+            let mut p = 0;
+            while p + 4 <= npairs {
+                acc[0] += term(aij, p);
+                acc[1] += term(aij, p + 1);
+                acc[2] += term(aij, p + 2);
+                acc[3] += term(aij, p + 3);
+                p += 4;
+            }
+            while p < npairs {
+                acc[0] += term(aij, p);
+                p += 1;
+            }
+            eri += dij * ((acc[0] + acc[1]) + (acc[2] + acc[3]));
+        }
+    }
+    eri
+}
+
+/// Sum of quartet ERIs with 4 independent accumulators striding the quartet
+/// list (the Fock-matrix partial-sum shape), each evaluated through the
+/// fast-lane [`quartet_eri_unrolled`]. Reassociated `f64` sum: ≤ ~1e-12
+/// relative of the serial fold.
+pub fn eri_batch_sum(system: &HeliumSystem, quartets: &[(u64, u64)]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut chunks = quartets.chunks_exact(4);
+    for quad in chunks.by_ref() {
+        acc[0] += quartet_eri_unrolled(system, quad[0].0, quad[0].1);
+        acc[1] += quartet_eri_unrolled(system, quad[1].0, quad[1].1);
+        acc[2] += quartet_eri_unrolled(system, quad[2].0, quad[2].1);
+        acc[3] += quartet_eri_unrolled(system, quad[3].0, quad[3].1);
+    }
+    for &(ij, kl) in chunks.remainder() {
+        acc[0] += quartet_eri_unrolled(system, ij, kl);
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Element-wise `acc[i] += partial[i]`, unrolled by 4. The per-element
+/// association is unchanged — each index accumulates in exactly the order the
+/// scalar loop would — so this is bitwise-identical and safe inside the
+/// golden Fock-matrix partial combine.
+pub fn add_assign_unrolled(acc: &mut [f64], partial: &[f64]) {
+    let n = acc.len().min(partial.len());
+    let (a, p) = (&mut acc[..n], &partial[..n]);
+    let mut i = 0;
+    while i + 4 <= n {
+        a[i] += p[i];
+        a[i + 1] += p[i + 1];
+        a[i + 2] += p[i + 2];
+        a[i + 3] += p[i + 3];
+        i += 4;
+    }
+    while i < n {
+        a[i] += p[i];
+        i += 1;
+    }
+}
+
+/// miniBUDE pose energy with 4 independent `f32` accumulators over the
+/// protein (inner) loop. Same per-pair arithmetic as
+/// [`crate::minibude::pose_energy`], reassociated sum: within the
+/// driver's own 2e-3 relative tolerance.
+pub fn pose_energy_unrolled(deck: &Deck, pose_index: usize) -> f32 {
+    let pose = [
+        deck.transforms[0][pose_index],
+        deck.transforms[1][pose_index],
+        deck.transforms[2][pose_index],
+        deck.transforms[3][pose_index],
+        deck.transforms[4][pose_index],
+        deck.transforms[5][pose_index],
+    ];
+    let (mut e0, mut e1, mut e2, mut e3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for lig in &deck.ligand {
+        let l_ff = deck.forcefield[lig.type_index as usize];
+        let l_ff = (l_ff.radius, l_ff.hphb, l_ff.charge);
+        let (lx, ly, lz) = transform_point(pose, lig.x, lig.y, lig.z);
+        let pair = |pro: &crate::minibude::Atom| {
+            let p_ff = deck.forcefield[pro.type_index as usize];
+            pair_energy(
+                lx,
+                ly,
+                lz,
+                l_ff,
+                pro.x,
+                pro.y,
+                pro.z,
+                (p_ff.radius, p_ff.hphb, p_ff.charge),
+            )
+        };
+        let mut chunks = deck.protein.chunks_exact(4);
+        for quad in chunks.by_ref() {
+            e0 += pair(&quad[0]);
+            e1 += pair(&quad[1]);
+            e2 += pair(&quad[2]);
+            e3 += pair(&quad[3]);
+        }
+        for pro in chunks.remainder() {
+            e0 += pair(pro);
+        }
+    }
+    ((e0 + e1) + (e2 + e3)) * HALF
+}
+
+// ---------------------------------------------------------------------------
+// Stencil (element-wise expression unchanged: bitwise-exact)
+// ---------------------------------------------------------------------------
+
+/// One interior cell of the seven-point Laplacian — the exact expression (and
+/// operation order) of the CPU reference and the device kernels.
+#[inline]
+fn stencil_point<T: Real>(u: &[T], idx: usize, l: usize, c: (T, T, T, T)) -> T {
+    let (cx, cy, cz, cc) = c;
+    u[idx] * cc
+        + (u[idx - l * l] + u[idx + l * l]) * cx
+        + (u[idx - l] + u[idx + l]) * cy
+        + (u[idx - 1] + u[idx + 1]) * cz
+}
+
+/// Applies the seven-point Laplacian to every interior cell, the innermost
+/// (`k`) loop unrolled by 4. Per-element expressions are unchanged, so the
+/// output is bitwise-identical to [`stencil7_apply_scalar`].
+pub fn stencil7_apply<T: Real>(out: &mut [T], u: &[T], l: usize, coeffs: (f64, f64, f64, f64)) {
+    let c = (
+        T::from_f64(coeffs.0),
+        T::from_f64(coeffs.1),
+        T::from_f64(coeffs.2),
+        T::from_f64(coeffs.3),
+    );
+    for i in 1..l - 1 {
+        for j in 1..l - 1 {
+            let row = (i * l + j) * l;
+            let mut k = 1;
+            while k + 4 < l {
+                out[row + k] = stencil_point(u, row + k, l, c);
+                out[row + k + 1] = stencil_point(u, row + k + 1, l, c);
+                out[row + k + 2] = stencil_point(u, row + k + 2, l, c);
+                out[row + k + 3] = stencil_point(u, row + k + 3, l, c);
+                k += 4;
+            }
+            while k < l - 1 {
+                out[row + k] = stencil_point(u, row + k, l, c);
+                k += 1;
+            }
+        }
+    }
+}
+
+/// The scalar deterministic counterpart of [`stencil7_apply`] (the lane the
+/// crossover bench times against).
+pub fn stencil7_apply_scalar<T: Real>(
+    out: &mut [T],
+    u: &[T],
+    l: usize,
+    coeffs: (f64, f64, f64, f64),
+) {
+    let c = (
+        T::from_f64(coeffs.0),
+        T::from_f64(coeffs.1),
+        T::from_f64(coeffs.2),
+        T::from_f64(coeffs.3),
+    );
+    for i in 1..l - 1 {
+        for j in 1..l - 1 {
+            let row = (i * l + j) * l;
+            for k in 1..l - 1 {
+                out[row + k] = stencil_point(u, row + k, l, c);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unrolled verification scans (max-reductions: bitwise-exact results)
+// ---------------------------------------------------------------------------
+
+/// Maximum relative error of `get(i)` against a constant over `start..end`,
+/// scanned with 4 independent max-accumulators. `max` is order-independent
+/// over a fixed element set, so the result equals the scalar scan exactly.
+pub fn max_rel_err_chunk(
+    get: impl Fn(usize) -> f64,
+    start: usize,
+    end: usize,
+    expected: f64,
+) -> f64 {
+    let scale = expected.abs().max(1.0);
+    let err = |i: usize| (get(i) - expected).abs() / scale;
+    let mut m = [0.0f64; 4];
+    let mut i = start;
+    while i + 4 <= end {
+        m[0] = m[0].max(err(i));
+        m[1] = m[1].max(err(i + 1));
+        m[2] = m[2].max(err(i + 2));
+        m[3] = m[3].max(err(i + 3));
+        i += 4;
+    }
+    while i < end {
+        m[0] = m[0].max(err(i));
+        i += 1;
+    }
+    m[0].max(m[1]).max(m[2]).max(m[3])
+}
+
+/// Unrolled variant of [`crate::common::compare_with_reference`]: 4
+/// independent max-accumulators, tolerance checked in index order. Returns
+/// exactly the same `Ok`/`Err` as the scalar scan (max is order-independent
+/// and the first offending index is still reported first).
+pub fn compare_with_reference_unrolled<T: Real>(
+    actual: &[T],
+    expected: &[f64],
+    tolerance: f64,
+) -> Result<f64, String> {
+    if actual.len() != expected.len() {
+        return Err(format!(
+            "length mismatch: {} vs {}",
+            actual.len(),
+            expected.len()
+        ));
+    }
+    let n = actual.len();
+    let fail = |i: usize, a: f64, e: f64, rel: f64| {
+        format!("element {i} differs: got {a}, expected {e} (relative error {rel:.3e})")
+    };
+    let probe = |i: usize| {
+        let a = actual[i].to_f64();
+        let e = expected[i];
+        let err = (a - e).abs();
+        (a, e, err, err / e.abs().max(1.0))
+    };
+    let mut m = [0.0f64; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        for (lane, slot) in m.iter_mut().enumerate() {
+            let (a, e, err, rel) = probe(i + lane);
+            if rel > tolerance {
+                return Err(fail(i + lane, a, e, rel));
+            }
+            *slot = slot.max(err);
+        }
+        i += 4;
+    }
+    while i < n {
+        let (a, e, err, rel) = probe(i);
+        if rel > tolerance {
+            return Err(fail(i, a, e, rel));
+        }
+        m[0] = m[0].max(err);
+        i += 1;
+    }
+    Ok(m[0].max(m[1]).max(m[2]).max(m[3]))
+}
+
+/// Unrolled variant of [`crate::common::compare_slices`] (same contract as
+/// [`compare_with_reference_unrolled`]).
+pub fn compare_slices_unrolled(
+    actual: &[f64],
+    expected: &[f64],
+    tolerance: f64,
+) -> Result<f64, String> {
+    compare_with_reference_unrolled(actual, expected, tolerance)
+}
+
+/// Unrolled variant of [`crate::common::compare_slices_f32`]: widens
+/// element-by-element exactly like the scalar scan.
+pub fn compare_slices_f32_unrolled(
+    actual: &[f32],
+    expected: &[f32],
+    tolerance: f32,
+) -> Result<f64, String> {
+    if actual.len() != expected.len() {
+        return Err(format!(
+            "length mismatch: {} vs {}",
+            actual.len(),
+            expected.len()
+        ));
+    }
+    let n = actual.len();
+    let tolerance = f64::from(tolerance);
+    let probe = |i: usize| {
+        let a = f64::from(actual[i]);
+        let e = f64::from(expected[i]);
+        let err = (a - e).abs();
+        (a, e, err, err / e.abs().max(1.0))
+    };
+    let fail = |i: usize, a: f64, e: f64, rel: f64| {
+        format!("element {i} differs: got {a}, expected {e} (relative error {rel:.3e})")
+    };
+    let mut m = [0.0f64; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        for (lane, slot) in m.iter_mut().enumerate() {
+            let (a, e, err, rel) = probe(i + lane);
+            if rel > tolerance {
+                return Err(fail(i + lane, a, e, rel));
+            }
+            *slot = slot.max(err);
+        }
+        i += 4;
+    }
+    while i < n {
+        let (a, e, err, rel) = probe(i);
+        if rel > tolerance {
+            return Err(fail(i, a, e, rel));
+        }
+        m[0] = m[0].max(err);
+        i += 1;
+    }
+    Ok(m[0].max(m[1]).max(m[2]).max(m[3]))
+}
+
+// ---------------------------------------------------------------------------
+// Lane-kernel registry (the crossover bench and the parity suite)
+// ---------------------------------------------------------------------------
+
+/// One kernel with both lanes runnable standalone: what the crossover bench
+/// times and the parity suite compares.
+pub struct LaneKernel {
+    /// Crossover-table key.
+    pub name: &'static str,
+    /// The size ladder the crossover bench measures (the workload's
+    /// `bench_sizes` plus smaller points so the table can place a crossover).
+    pub sizes: &'static [u64],
+    /// Documented lane-parity tolerance (relative; `0.0` = bitwise-exact).
+    pub tolerance: f64,
+    /// Runs one lane at one size, returning a checksum both lanes compute
+    /// identically (for the deterministic lane: through the golden
+    /// association).
+    pub run: fn(Lane, u64) -> f64,
+}
+
+/// Every lane kernel, in crossover-table presentation order.
+pub fn lane_kernels() -> &'static [LaneKernel] {
+    const STREAM_SIZES: &[u64] = &[1 << 12, 1 << 16, 1 << 20];
+    const KERNELS: [LaneKernel; 9] = [
+        LaneKernel {
+            name: KERNEL_COPY,
+            sizes: STREAM_SIZES,
+            tolerance: 0.0,
+            run: run_copy,
+        },
+        LaneKernel {
+            name: KERNEL_MUL,
+            sizes: STREAM_SIZES,
+            tolerance: 0.0,
+            run: run_mul,
+        },
+        LaneKernel {
+            name: KERNEL_ADD,
+            sizes: STREAM_SIZES,
+            tolerance: 0.0,
+            run: run_add,
+        },
+        LaneKernel {
+            name: KERNEL_TRIAD,
+            sizes: STREAM_SIZES,
+            tolerance: 0.0,
+            run: run_triad,
+        },
+        LaneKernel {
+            name: KERNEL_NSTREAM,
+            sizes: STREAM_SIZES,
+            tolerance: 0.0,
+            run: run_nstream,
+        },
+        LaneKernel {
+            name: KERNEL_DOT,
+            sizes: STREAM_SIZES,
+            tolerance: 1e-12,
+            run: run_dot,
+        },
+        LaneKernel {
+            name: KERNEL_STENCIL7,
+            sizes: &[32, 64, 96, 128],
+            tolerance: 0.0,
+            run: run_stencil,
+        },
+        LaneKernel {
+            name: KERNEL_MINIBUDE_POSE,
+            sizes: &[16, 64, 256],
+            tolerance: 2e-3,
+            run: run_pose,
+        },
+        LaneKernel {
+            name: KERNEL_FOCK_ERI,
+            sizes: &[8, 16, 24],
+            tolerance: 1e-12,
+            run: run_fock,
+        },
+    ];
+    &KERNELS
+}
+
+/// Pool-backed stream buffers filled with the BabelStream init constants.
+fn stream_buffers(n: usize) -> (PooledVec<f64>, PooledVec<f64>, PooledVec<f64>) {
+    let mut a = PooledVec::with_capacity(n);
+    a.resize(n, INIT_A);
+    let mut b = PooledVec::with_capacity(n);
+    b.resize(n, INIT_B);
+    let mut c = PooledVec::with_capacity(n);
+    c.resize(n, INIT_C);
+    (a, b, c)
+}
+
+/// Lane-independent checksum: a serial left-to-right fold.
+fn checksum(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, &v| acc + v)
+}
+
+fn run_copy(lane: Lane, size: u64) -> f64 {
+    let n = size as usize;
+    let (a, _b, mut c) = stream_buffers(n);
+    match lane {
+        Lane::Deterministic => {
+            for (dst, src) in c.iter_mut().zip(a.iter()) {
+                *dst = *src;
+            }
+        }
+        Lane::Simd => stream_copy(c.as_mut_slice(), &a),
+    }
+    checksum(&c)
+}
+
+fn run_mul(lane: Lane, size: u64) -> f64 {
+    let n = size as usize;
+    let (_a, mut b, c) = stream_buffers(n);
+    let scalar = crate::babelstream::SCALAR;
+    match lane {
+        Lane::Deterministic => {
+            for (dst, src) in b.iter_mut().zip(c.iter()) {
+                *dst = scalar * *src;
+            }
+        }
+        Lane::Simd => stream_mul(b.as_mut_slice(), &c, scalar),
+    }
+    checksum(&b)
+}
+
+fn run_add(lane: Lane, size: u64) -> f64 {
+    let n = size as usize;
+    let (a, b, mut c) = stream_buffers(n);
+    match lane {
+        Lane::Deterministic => {
+            for i in 0..n {
+                c[i] = a[i] + b[i];
+            }
+        }
+        Lane::Simd => stream_add(c.as_mut_slice(), &a, &b),
+    }
+    checksum(&c)
+}
+
+fn run_triad(lane: Lane, size: u64) -> f64 {
+    let n = size as usize;
+    let (mut a, b, c) = stream_buffers(n);
+    let scalar = crate::babelstream::SCALAR;
+    match lane {
+        Lane::Deterministic => {
+            for i in 0..n {
+                a[i] = b[i] + scalar * c[i];
+            }
+        }
+        Lane::Simd => stream_triad(a.as_mut_slice(), &b, &c, scalar),
+    }
+    checksum(&a)
+}
+
+fn run_nstream(lane: Lane, size: u64) -> f64 {
+    let n = size as usize;
+    let (mut a, b, c) = stream_buffers(n);
+    let scalar = crate::babelstream::SCALAR;
+    match lane {
+        Lane::Deterministic => {
+            for i in 0..n {
+                a[i] += b[i] + scalar * c[i];
+            }
+        }
+        Lane::Simd => stream_nstream(a.as_mut_slice(), &b, &c, scalar),
+    }
+    checksum(&a)
+}
+
+/// Pre-filled dot inputs, cached per size: dot never writes its inputs, and
+/// the crossover bench times [`run_dot`] whole, so refilling buffers on
+/// every call would dilute the reduction actually being measured.
+fn dot_inputs(n: usize) -> std::sync::Arc<(Vec<f64>, Vec<f64>)> {
+    type DotCache = std::sync::Mutex<std::collections::HashMap<usize, DotInputs>>;
+    type DotInputs = std::sync::Arc<(Vec<f64>, Vec<f64>)>;
+    static CACHE: OnceLock<DotCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+    let mut map = cache.lock().unwrap();
+    map.entry(n)
+        .or_insert_with(|| std::sync::Arc::new((vec![INIT_A; n], vec![INIT_B; n])))
+        .clone()
+}
+
+fn run_dot(lane: Lane, size: u64) -> f64 {
+    let n = size as usize;
+    let inputs = dot_inputs(n);
+    let (av, bv) = (inputs.0.as_slice(), inputs.1.as_slice());
+    match lane {
+        Lane::Deterministic => (0..n).into_par_iter().map(|i| av[i] * bv[i]).sum::<f64>(),
+        // The fast lane is the hand-unrolled slice kernel itself: 8
+        // independent accumulators over direct slice indexing, the shape the
+        // auto-vectorizer lowers to packed multiply-adds. Reassociated
+        // relative to the deterministic tree within the registered 1e-12.
+        Lane::Simd => dot(av, bv),
+    }
+}
+
+fn run_stencil(lane: Lane, size: u64) -> f64 {
+    let l = size as usize;
+    let config = StencilConfig::validation(l, Precision::Fp64);
+    let u = cache::stencil_grid(&config);
+    let mut out: PooledVec<f64> = PooledVec::with_capacity(l * l * l);
+    out.resize(l * l * l, 0.0);
+    let coeffs = config.coefficients();
+    match lane {
+        Lane::Deterministic => stencil7_apply_scalar(out.as_mut_slice(), &u, l, coeffs),
+        Lane::Simd => stencil7_apply(out.as_mut_slice(), &u, l, coeffs),
+    }
+    checksum(&out)
+}
+
+fn run_pose(lane: Lane, size: u64) -> f64 {
+    let config = MiniBudeConfig::paper(1, 8);
+    let deck = cache::minibude_deck(&config);
+    let poses = (size as usize).min(config.nposes);
+    let mut total = 0.0f64;
+    for pose in 0..poses {
+        total += f64::from(match lane {
+            Lane::Deterministic => crate::minibude::pose_energy(&deck, pose),
+            Lane::Simd => pose_energy_unrolled(&deck, pose),
+        });
+    }
+    total
+}
+
+fn run_fock(lane: Lane, size: u64) -> f64 {
+    let config = HartreeFockConfig::validation(size as u32);
+    let system = cache::helium_system(&config);
+    let nquartets = config.nquartets();
+    let sys = &*system;
+    match lane {
+        Lane::Deterministic => (0..nquartets)
+            .into_par_iter()
+            .map(|q| {
+                let (ij, kl) = pair_decode(q);
+                quartet_eri(sys, ij, kl)
+            })
+            .sum::<f64>(),
+        Lane::Simd => (0..nquartets)
+            .into_par_iter()
+            .map(|q| {
+                let (ij, kl) = pair_decode(q);
+                quartet_eri_unrolled(sys, ij, kl)
+            })
+            .sum_unrolled::<f64>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{compare_slices, compare_slices_f32, compare_with_reference};
+
+    #[test]
+    fn lane_and_policy_labels_round_trip() {
+        for lane in [Lane::Deterministic, Lane::Simd] {
+            assert_eq!(lane.label().parse::<Lane>().unwrap(), lane);
+        }
+        for policy in [
+            LanePolicy::Deterministic,
+            LanePolicy::Simd,
+            LanePolicy::Auto,
+        ] {
+            assert_eq!(policy.label().parse::<LanePolicy>().unwrap(), policy);
+        }
+        assert!("frobnicate".parse::<Lane>().is_err());
+        assert!("frobnicate".parse::<LanePolicy>().is_err());
+        assert_eq!(LanePolicy::default(), LanePolicy::Deterministic);
+    }
+
+    #[test]
+    fn explicit_policies_resolve_without_the_table() {
+        assert_eq!(
+            resolve(LanePolicy::Deterministic, KERNEL_DOT, 1 << 20),
+            Lane::Deterministic
+        );
+        assert_eq!(resolve(LanePolicy::Simd, "unknown", 1), Lane::Simd);
+    }
+
+    #[test]
+    fn crossover_table_round_trips_and_looks_up_by_size() {
+        let table = CrossoverTable::new(vec![
+            CrossoverEntry {
+                kernel: KERNEL_DOT.to_string(),
+                size: 4096,
+                deterministic_ns: 100.0,
+                simd_ns: 120.0,
+                speedup: 100.0 / 120.0,
+                fastest: Lane::Deterministic,
+            },
+            CrossoverEntry {
+                kernel: KERNEL_DOT.to_string(),
+                size: 1 << 20,
+                deterministic_ns: 300.0,
+                simd_ns: 100.0,
+                speedup: 3.0,
+                fastest: Lane::Simd,
+            },
+        ]);
+        let parsed = CrossoverTable::parse(&table.to_json_pretty()).unwrap();
+        assert_eq!(parsed, table);
+        // Below the first measurement: inherit the smallest entry.
+        assert_eq!(
+            table.fastest_lane(KERNEL_DOT, 16),
+            Some(Lane::Deterministic)
+        );
+        // Between measurements: the verdict below applies.
+        assert_eq!(
+            table.fastest_lane(KERNEL_DOT, 100_000),
+            Some(Lane::Deterministic)
+        );
+        // At and beyond the crossover.
+        assert_eq!(table.fastest_lane(KERNEL_DOT, 1 << 20), Some(Lane::Simd));
+        assert_eq!(table.fastest_lane(KERNEL_DOT, 1 << 25), Some(Lane::Simd));
+        assert_eq!(table.fastest_lane("unknown", 1), None);
+    }
+
+    #[test]
+    fn malformed_crossover_tables_are_rejected() {
+        assert!(CrossoverTable::parse("{not json").is_err());
+        assert!(CrossoverTable::parse("{\"schema\": 99, \"kernels\": []}").is_err());
+        assert!(CrossoverTable::parse("{\"schema\": 1}").is_err());
+        let negative = "{\"schema\": 1, \"kernels\": [{\"kernel\": \"x\", \"size\": 1, \
+             \"deterministic_ns\": -1.0, \"simd_ns\": 1.0, \"speedup\": 1.0, \
+             \"fastest\": \"simd\"}]}";
+        assert!(CrossoverTable::parse(negative).is_err());
+    }
+
+    #[test]
+    fn builtin_table_parses_and_covers_every_lane_kernel() {
+        let table = CrossoverTable::builtin();
+        assert!(!table.entries.is_empty());
+        for kernel in lane_kernels() {
+            assert!(
+                table.fastest_lane(kernel.name, kernel.sizes[0]).is_some(),
+                "committed crossover table is missing kernel {}",
+                kernel.name
+            );
+        }
+    }
+
+    #[test]
+    fn stream_kernels_are_bitwise_identical_to_scalar_loops() {
+        let n = 1027; // off the unroll boundary on purpose
+        let (a, b, c) = stream_buffers(n);
+        let mut scalar = vec![0.0f64; n];
+        let mut fast = vec![0.0f64; n];
+        for i in 0..n {
+            scalar[i] = b[i] + crate::babelstream::SCALAR * c[i];
+        }
+        stream_triad(&mut fast, &b, &c, crate::babelstream::SCALAR);
+        assert_eq!(scalar, fast);
+        for i in 0..n {
+            scalar[i] = a[i] + b[i];
+        }
+        stream_add(&mut fast, &a, &b);
+        assert_eq!(scalar, fast);
+        for i in 0..n {
+            scalar[i] = crate::babelstream::SCALAR * c[i];
+        }
+        stream_mul(&mut fast, &c, crate::babelstream::SCALAR);
+        assert_eq!(scalar, fast);
+        stream_copy(&mut fast, &a);
+        assert_eq!(fast, a.as_slice());
+        let mut na = vec![1.0f64; n];
+        let mut nb = vec![1.0f64; n];
+        for i in 0..n {
+            na[i] += b[i] + crate::babelstream::SCALAR * c[i];
+        }
+        stream_nstream(&mut nb, &b, &c, crate::babelstream::SCALAR);
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn dot_stays_within_the_documented_tolerance_of_the_serial_fold() {
+        let n = 10_007;
+        let a: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let serial: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        let fast = dot(&a, &b);
+        assert!((serial - fast).abs() / serial.abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_unrolled_is_bitwise_identical() {
+        let p: Vec<f64> = (0..517).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut scalar: Vec<f64> = (0..517).map(|i| (i as f64).cos()).collect();
+        let mut fast = scalar.clone();
+        for (a, &v) in scalar.iter_mut().zip(&p) {
+            *a += v;
+        }
+        add_assign_unrolled(&mut fast, &p);
+        assert_eq!(scalar, fast);
+    }
+
+    #[test]
+    fn unrolled_compare_matches_the_scalar_scans_exactly() {
+        let expected: Vec<f64> = (0..333).map(|i| 1.0 + i as f64).collect();
+        let actual: Vec<f64> = expected.iter().map(|&v| v + 1e-12).collect();
+        assert_eq!(
+            compare_slices_unrolled(&actual, &expected, 1e-9),
+            compare_slices(&actual, &expected, 1e-9)
+        );
+        let actual32: Vec<f32> = expected.iter().map(|&v| v as f32).collect();
+        let expected32: Vec<f32> = actual32.clone();
+        assert_eq!(
+            compare_slices_f32_unrolled(&actual32, &expected32, 1e-5),
+            compare_slices_f32(&actual32, &expected32, 1e-5)
+        );
+        // Failure cases report the same first offending element.
+        let mut broken = actual.clone();
+        broken[5] = 1e9;
+        broken[6] = 2e9;
+        assert_eq!(
+            compare_slices_unrolled(&broken, &expected, 1e-9),
+            compare_slices(&broken, &expected, 1e-9)
+        );
+        assert_eq!(
+            compare_with_reference_unrolled(&broken, &expected, 1e-9),
+            compare_with_reference(&broken, &expected, 1e-9)
+        );
+        assert!(compare_slices_unrolled(&actual[..10], &expected, 1e-9).is_err());
+    }
+
+    #[test]
+    fn max_rel_err_chunk_equals_the_scalar_scan() {
+        let values: Vec<f64> = (0..257).map(|i| 2.0 + (i as f64).sin() * 1e-13).collect();
+        let scalar = values
+            .iter()
+            .map(|v| (v - 2.0).abs() / 2.0)
+            .fold(0.0f64, f64::max);
+        let fast = max_rel_err_chunk(|i| values[i], 0, values.len(), 2.0);
+        assert_eq!(scalar.to_bits(), fast.to_bits());
+    }
+
+    #[test]
+    fn every_lane_kernel_is_within_tolerance_at_its_smallest_size() {
+        for kernel in lane_kernels() {
+            let size = kernel.sizes[0];
+            let golden = (kernel.run)(Lane::Deterministic, size);
+            let fast = (kernel.run)(Lane::Simd, size);
+            let rel = (golden - fast).abs() / golden.abs().max(1.0);
+            assert!(
+                rel <= kernel.tolerance,
+                "{} @ {size}: relative error {rel:.3e} exceeds {:.1e}",
+                kernel.name,
+                kernel.tolerance
+            );
+            if kernel.tolerance == 0.0 {
+                assert_eq!(golden.to_bits(), fast.to_bits(), "{}", kernel.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pose_energy_unrolled_matches_the_reference_within_driver_tolerance() {
+        let config = MiniBudeConfig::validation(1, 8);
+        let deck = cache::minibude_deck(&config);
+        for pose in 0..16 {
+            let golden = f64::from(crate::minibude::pose_energy(&deck, pose));
+            let fast = f64::from(pose_energy_unrolled(&deck, pose));
+            let rel = (golden - fast).abs() / golden.abs().max(1.0);
+            assert!(rel < 2e-3, "pose {pose}: {golden} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn eri_batch_sum_matches_the_serial_fold() {
+        let config = HartreeFockConfig::validation(8);
+        let system = cache::helium_system(&config);
+        let quartets: Vec<(u64, u64)> = (0..config.nquartets()).map(pair_decode).collect();
+        let serial: f64 = quartets
+            .iter()
+            .map(|&(ij, kl)| quartet_eri(&system, ij, kl))
+            .sum();
+        let fast = eri_batch_sum(&system, &quartets);
+        assert!((serial - fast).abs() / serial.abs() < 1e-12);
+    }
+}

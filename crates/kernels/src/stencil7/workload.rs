@@ -78,12 +78,16 @@ impl Workload for StencilWorkload {
         Ok(())
     }
 
-    fn run(&self, params: &Params) -> Result<WorkloadOutput, WorkloadError> {
+    fn run_lane(
+        &self,
+        params: &Params,
+        policy: crate::simd::LanePolicy,
+    ) -> Result<WorkloadOutput, WorkloadError> {
         self.validate(params)?;
         let config = config(params)?;
         let mut measurements = PooledVec::new();
         for platform in paper_platform_pairs() {
-            let run = super::run(platform, &config)?;
+            let run = super::run_lane(platform, &config, policy)?;
             let fom = stencil_bandwidth_gbs(config.l as u64, config.precision, run.seconds());
             measurements.push(Measurement::from_run(&run, fom));
         }

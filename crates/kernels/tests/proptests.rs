@@ -26,7 +26,6 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Triangular pair encoding is a bijection for arbitrary (i <= j).
-    #[test]
     fn pair_encoding_round_trips(j in 0u64..2000, offset in 0u64..2000) {
         let i = offset.min(j);
         let index = pair_encode(i, j);
@@ -36,7 +35,6 @@ proptest! {
 
     /// The O(n log n) Schwarz survivor count equals the brute-force count for
     /// arbitrary non-negative factor sets and thresholds.
-    #[test]
     fn screening_count_matches_brute_force(
         factors in proptest::collection::vec(0.0f64..2.0, 1..80),
         tol in 0.0f64..2.0,
@@ -49,7 +47,6 @@ proptest! {
 
     /// The seven-point Laplacian of any affine field is zero on interior cells
     /// (an exact discrete identity, independent of grid size or coefficients).
-    #[test]
     fn laplacian_annihilates_affine_fields(
         l in 4usize..16,
         a in -5.0f64..5.0, b in -5.0f64..5.0, c in -5.0f64..5.0, d in -5.0f64..5.0,
@@ -72,7 +69,6 @@ proptest! {
 
     /// Pair interaction energy is symmetric under exchanging the two atoms'
     /// roles when their force-field parameters are identical.
-    #[test]
     fn pair_energy_is_symmetric_for_identical_types(
         x in -10.0f32..10.0, y in -10.0f32..10.0, z in -10.0f32..10.0,
         radius in 0.5f32..2.5, hphb in -1.0f32..1.0, charge in -0.5f32..0.5,
@@ -85,7 +81,6 @@ proptest! {
     }
 
     /// Deck generation honours arbitrary (sane) configuration sizes.
-    #[test]
     fn deck_generation_matches_config(natlig in 1usize..32, natpro in 1usize..128, nposes in 1usize..512, seed in 0u64..1000) {
         let config = MiniBudeConfig {
             ppwi: 1,

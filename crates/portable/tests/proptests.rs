@@ -9,7 +9,6 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Row-major 3-D offsets are a bijection onto 0..len and respect C order.
-    #[test]
     fn layout_3d_offsets_are_a_bijection(d0 in 1usize..12, d1 in 1usize..12, d2 in 1usize..12) {
         let layout = Layout::row_major_3d(d0, d1, d2);
         let mut seen = vec![false; layout.len()];
@@ -29,7 +28,6 @@ proptest! {
 
     /// Whatever is written through a tensor view is read back identically,
     /// both through the view and through the underlying buffer.
-    #[test]
     fn tensor_round_trips_host_data(values in proptest::collection::vec(-1e6f64..1e6, 1..256)) {
         let ctx = DeviceContext::new(gpu_spec::presets::test_device());
         let buffer = ctx.enqueue_create_buffer::<f64>(values.len()).unwrap();
@@ -43,7 +41,6 @@ proptest! {
 
     /// A fill-one kernel launched over any size/block combination writes every
     /// element exactly once (the Listing 1 pattern generalised).
-    #[test]
     fn fill_kernel_covers_any_size(n in 1usize..5000, block in 1u32..256) {
         let ctx = DeviceContext::new(gpu_spec::presets::test_device());
         let tensor = LayoutTensor::new(
@@ -61,7 +58,6 @@ proptest! {
     }
 
     /// SIMD lane arithmetic matches scalar arithmetic lane by lane.
-    #[test]
     fn simd_matches_scalar_semantics(a in proptest::array::uniform4(-1e3f32..1e3), b in proptest::array::uniform4(-1e3f32..1e3)) {
         let va = Simd::<4>::from_array(a);
         let vb = Simd::<4>::from_array(b);

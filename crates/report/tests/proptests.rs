@@ -49,7 +49,6 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// parse ∘ display is the identity on every valid shard spec.
-    #[test]
     fn shard_spec_parse_display_round_trips(total in 1u64..10_000, pick in 0u64..10_000) {
         let spec = ShardSpec { index: pick % total, total };
         let parsed = ShardSpec::parse(&spec.to_string()).unwrap();
@@ -59,7 +58,6 @@ proptest! {
 
     /// Out-of-range and zero-total specs are rejected however they are
     /// spelled; the error names the flag.
-    #[test]
     fn shard_spec_rejects_out_of_range(index in 0u64..10_000, extra in 0u64..100) {
         let total = index.saturating_sub(extra).min(index); // total <= index
         let err = ShardSpec::parse(&format!("{index}/{total}")).unwrap_err();
@@ -73,7 +71,6 @@ proptest! {
 
     /// The partition function tiles any work list completely and in order,
     /// whatever the shard count.
-    #[test]
     fn shard_ranges_tile_exactly(len in 0usize..500, total in 1u64..64) {
         let mut covered = Vec::new();
         for index in 0..total {
@@ -86,7 +83,6 @@ proptest! {
 
     /// Shard manifests survive the JSON round trip byte-for-byte, with and
     /// without the optional sweep and pool fields.
-    #[test]
     fn shard_manifest_round_trips(
         shard in 0u64..64, extra_shards in 0u64..64,
         start in 0u64..1000, count in 0u64..20, extra_total in 0u64..1000,
@@ -123,7 +119,6 @@ proptest! {
 
     /// Host manifests survive the JSON round trip, whatever the host count,
     /// slot spread and template arity.
-    #[test]
     fn host_manifest_round_trips(
         hosts in 1usize..12, slots in 1u64..64, template_len in 1usize..6,
     ) {
@@ -145,7 +140,6 @@ proptest! {
 
     /// Malformed host manifests (zero slots, duplicate or empty names) are
     /// rejected wherever the bad entry sits.
-    #[test]
     fn host_manifest_rejects_bad_entries(hosts in 1usize..8, bad in 0usize..8) {
         let bad = bad % hosts;
         let zero_slots = HostManifest {
@@ -174,7 +168,6 @@ proptest! {
 
     /// A clean two-shard tiling merges to exactly the expected labels; the
     /// same set with shard 1's range shifted (gap or overlap) is rejected.
-    #[test]
     fn merge_rejects_gap_and_overlap_tilings(
         total in 2u64..24, cut in 1u64..24, shift in 1i64..6, gap in 0u32..2,
     ) {
@@ -202,7 +195,6 @@ proptest! {
 
     /// A shard that duplicates one of its neighbour's labels (re-shard gone
     /// wrong) is rejected even when the counts line up.
-    #[test]
     fn merge_rejects_duplicated_labels(total in 2u64..24, cut in 1u64..24, dup in 0u64..24) {
         let cut = cut.min(total - 1);
         let expected: Vec<String> = (0..total).map(label).collect();

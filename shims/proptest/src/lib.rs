@@ -9,6 +9,12 @@
 //!
 //! Sampling is deterministic: each test derives its generator seed from its
 //! own name, so failures reproduce across runs.
+//!
+//! Failing cases shrink: integer-range, vector and array strategies propose
+//! simpler variants of a failing input ([`Strategy::shrink`]), and the
+//! [`proptest!`] macro greedily [`minimize`]s the failure before reporting
+//! it, so the assertion fires on the simplest reproduction the strategies
+//! can reach (e.g. the exact boundary length for a length-triggered bug).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,9 +77,49 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    /// Proposes strictly simpler variants of a failing `value`, simplest
+    /// first; an empty vector means the value cannot shrink further. The
+    /// default never shrinks — strategies opt in.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
-macro_rules! impl_range_strategy {
+/// Integer ranges shrink toward the range start: the start itself, the
+/// midpoint between start and the failing value, then the predecessor —
+/// the classic bisection ladder, so [`minimize`] lands on the exact
+/// smallest failing value.
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    let mid = self.start + (*value - self.start) / 2;
+                    out.push(self.start);
+                    if mid != self.start {
+                        out.push(mid);
+                    }
+                    let prev = *value - 1;
+                    if prev != self.start && prev != mid {
+                        out.push(prev);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+/// Float ranges sample but do not shrink: there is no useful "simplest"
+/// float short of the range start, and bisection over reals never
+/// terminates on an exact bound.
+macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
@@ -84,7 +130,120 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f32, f64);
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+impl_float_range_strategy!(f32, f64);
+
+/// Greedily minimises a failing `value`: repeatedly replaces it with the
+/// first shrink candidate that still satisfies `fails`, until no candidate
+/// does (or a step budget runs out). The result still fails whenever the
+/// input did.
+pub fn minimize<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut fails: impl FnMut(&S::Value) -> bool,
+) -> S::Value {
+    let mut budget = 1000usize;
+    loop {
+        let mut improved = false;
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                return value;
+            }
+            budget -= 1;
+            if fails(&candidate) {
+                value = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return value;
+        }
+    }
+}
+
+/// Tuples of strategies sample componentwise (left to right, so the random
+/// stream matches sampling each argument in declaration order) and shrink
+/// one component at a time.
+macro_rules! impl_tuple_strategy {
+    ($(($S:ident, $idx:tt)),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone,)+
+        {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut trial = value.clone();
+                        trial.$idx = candidate;
+                        out.push(trial);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!((S0, 0));
+impl_tuple_strategy!((S0, 0), (S1, 1));
+impl_tuple_strategy!((S0, 0), (S1, 1), (S2, 2));
+impl_tuple_strategy!((S0, 0), (S1, 1), (S2, 2), (S3, 3));
+impl_tuple_strategy!((S0, 0), (S1, 1), (S2, 2), (S3, 3), (S4, 4));
+impl_tuple_strategy!((S0, 0), (S1, 1), (S2, 2), (S3, 3), (S4, 4), (S5, 5));
+impl_tuple_strategy!(
+    (S0, 0),
+    (S1, 1),
+    (S2, 2),
+    (S3, 3),
+    (S4, 4),
+    (S5, 5),
+    (S6, 6)
+);
+impl_tuple_strategy!(
+    (S0, 0),
+    (S1, 1),
+    (S2, 2),
+    (S3, 3),
+    (S4, 4),
+    (S5, 5),
+    (S6, 6),
+    (S7, 7)
+);
+impl_tuple_strategy!(
+    (S0, 0),
+    (S1, 1),
+    (S2, 2),
+    (S3, 3),
+    (S4, 4),
+    (S5, 5),
+    (S6, 6),
+    (S7, 7),
+    (S8, 8)
+);
+
+/// Zero-argument properties still sample a (unit) input per case.
+impl Strategy for () {
+    type Value = ();
+    fn sample(&self, _rng: &mut StdRng) -> Self::Value {}
+}
+
+/// Pins a property body's parameter to its strategy's value type, so the
+/// closure type-checks against concrete argument types. Implementation
+/// detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+pub fn __typed_body<S, F>(_strategy: &S, body: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value),
+{
+    body
+}
 
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
@@ -104,11 +263,38 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.len.clone());
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        /// Shrinks the length first (halve toward the minimum, then drop one
+        /// element) so [`crate::minimize`] bisects to the exact shortest
+        /// failing length, then shrinks elements in place one at a time.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            if value.len() > self.len.start {
+                let half = self.len.start.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                let shorter = value.len() - 1;
+                if shorter >= self.len.start && shorter != half {
+                    out.push(value[..shorter].to_vec());
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                if let Some(candidate) = self.element.shrink(element).into_iter().next() {
+                    let mut trial = value.clone();
+                    trial[i] = candidate;
+                    out.push(trial);
+                }
+            }
+            out
         }
     }
 }
@@ -122,10 +308,24 @@ pub mod array {
         element: S,
     }
 
-    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+    where
+        S::Value: Clone,
+    {
         type Value = [S::Value; N];
         fn sample(&self, rng: &mut StdRng) -> [S::Value; N] {
             std::array::from_fn(|_| self.element.sample(rng))
+        }
+        fn shrink(&self, value: &[S::Value; N]) -> Vec<[S::Value; N]> {
+            let mut out = Vec::new();
+            for (i, element) in value.iter().enumerate() {
+                if let Some(candidate) = self.element.shrink(element).into_iter().next() {
+                    let mut trial = value.clone();
+                    trial[i] = candidate;
+                    out.push(trial);
+                }
+            }
+            out
         }
     }
 
@@ -138,7 +338,7 @@ pub mod array {
 /// The proptest-style glob import.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        minimize, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
     };
 }
 
@@ -164,7 +364,13 @@ macro_rules! prop_assert_ne {
 ///
 /// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
 /// samples its arguments `cases` times from a deterministic generator and
-/// runs the body on every sample.
+/// runs the body on every sample. When a case fails, the failing input is
+/// greedily [`minimize`]d through the strategies' shrink candidates, the
+/// minimized input is printed, and the body re-runs on it un-caught so the
+/// test fails with the assertion for the simplest reproduction.
+///
+/// Attributes written on a property (doc comments, `#[should_panic]`, ...)
+/// are forwarded to the generated `#[test]`; do not add `#[test]` yourself.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -187,14 +393,38 @@ macro_rules! __proptest_impl {
         )*
     ) => {
         $(
+            $(#[$meta])*
             #[test]
             fn $name() {
                 let __cases: u32 = ($cfg).cases;
                 let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__cases {
-                    let _ = __case;
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __strategy = ($(($strat),)*);
+                let __body = $crate::__typed_body(&__strategy, |__inputs| {
+                    let ($($arg,)*) = ::std::clone::Clone::clone(__inputs);
                     $body
+                });
+                for __case in 0..__cases {
+                    let __inputs = $crate::Strategy::sample(&__strategy, &mut __rng);
+                    let __failed = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || __body(&__inputs),
+                    ))
+                    .is_err();
+                    if __failed {
+                        let __minimized = $crate::minimize(&__strategy, __inputs, |__trial| {
+                            ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                                || __body(__trial),
+                            ))
+                            .is_err()
+                        });
+                        eprintln!(
+                            "proptest: {} case {} failed; minimized input: {:?}",
+                            stringify!($name),
+                            __case + 1,
+                            &__minimized
+                        );
+                        __body(&__minimized);
+                        unreachable!("proptest: minimized input stopped failing");
+                    }
                 }
             }
         )*
@@ -222,6 +452,35 @@ mod tests {
         fn arrays_have_four_lanes(a in crate::array::uniform4(-1.0f32..1.0)) {
             prop_assert_eq!(a.len(), 4);
         }
+
+        /// End-to-end shrinking: the seeded failure (some sampled vector with
+        /// ten or more elements) minimizes to the exact boundary — length 10,
+        /// every element at the range start — before the assertion fires.
+        #[should_panic(expected = "len 10")]
+        fn seeded_failures_shrink_to_the_boundary(
+            v in crate::collection::vec(0u32..100, 1..40),
+        ) {
+            prop_assert!(v.len() < 10, "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn integer_shrinking_bisects_to_the_smallest_failing_value() {
+        let strategy = 0u32..100;
+        assert_eq!(crate::minimize(&strategy, 57, |v| *v >= 13), 13);
+        assert_eq!(crate::minimize(&strategy, 13, |v| *v >= 13), 13);
+        // A failure at the range start cannot shrink at all.
+        assert!(strategy.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn vector_shrinking_reaches_the_exact_length_bound() {
+        let strategy = crate::collection::vec(1u32..100, 1..64);
+        let start: Vec<u32> = (1..=37).collect();
+        let minimized = crate::minimize(&strategy, start, |v| v.len() >= 10);
+        // Length bisects to the exact bound and surviving elements shrink
+        // toward their own range start.
+        assert_eq!(minimized, vec![1u32; 10]);
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn main() {
             current,
             max_regression,
         }) => bench_diff(&baseline, &current, max_regression),
+        Ok(Command::BenchTrajectory { root, csv }) => bench_trajectory(&root, csv.as_deref()),
         Ok(command) => cli::execute(&command),
         Err(message) => {
             eprintln!("error: {message}");
@@ -41,6 +42,30 @@ fn main() {
         }
     };
     std::process::exit(code);
+}
+
+/// Renders the per-benchmark mean-time trend across a directory of archived
+/// bench snapshots (`bench-trajectory-<sha>` subdirectories, oldest first by
+/// modification time). `--csv FILE` additionally writes the trend table as
+/// CSV.
+fn bench_trajectory(root: &Path, csv: Option<&Path>) -> i32 {
+    let snapshots = match bench::trajectory::load_snapshots(root) {
+        Ok(snapshots) => snapshots,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return 2;
+        }
+    };
+    let trajectory = bench::trajectory::trajectory(snapshots);
+    print!("{}", bench::trajectory::render(&trajectory));
+    if let Some(path) = csv {
+        if let Err(err) = std::fs::write(path, bench::trajectory::to_csv(&trajectory)) {
+            eprintln!("failed to write {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("  [csv] {}", path.display());
+    }
+    0
 }
 
 /// Compares two bench JSON records (each a file or a directory of records),

@@ -67,6 +67,7 @@ fn steady_state_launches_do_not_allocate() {
     // reads the variable once, when first used.
     std::env::set_var("RAYON_NUM_THREADS", "1");
 
+    use science_kernels::simd::LanePolicy;
     use science_kernels::workload::{self, ParamValue};
 
     let engines = workload::all();
@@ -106,6 +107,59 @@ fn steady_state_launches_do_not_allocate() {
                  every hot-path buffer must come from the pool or a memo cache",
                 engine.name(),
                 launch + 2 + WARMUP_RUNS,
+                after - before
+            );
+        }
+
+        // The SIMD fast lane holds the same contract (DESIGN.md §14): its
+        // scratch is pooled or on the stack, and the lane's one-time caches
+        // fill during warm-up like every other memo.
+        for _ in 0..WARMUP_RUNS {
+            engine
+                .run_lane(&params, LanePolicy::Simd)
+                .expect("SIMD warm-up run succeeds");
+        }
+        let before = allocations();
+        for launch in 0..STEADY_RUNS {
+            let output = engine
+                .run_lane(&params, LanePolicy::Simd)
+                .expect("SIMD steady-state run succeeds");
+            drop(output);
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "{}: SIMD-lane steady-state launch {} performed {} global \
+                 allocation(s); the fast lane must not trade determinism for \
+                 allocation churn",
+                engine.name(),
+                launch + 2 + WARMUP_RUNS,
+                after - before
+            );
+        }
+    }
+
+    // The standalone lane kernels (what the crossover bench times and the
+    // parity suite compares) obey the contract too, on both lanes, at their
+    // smallest ladder size.
+    use science_kernels::simd::{lane_kernels, Lane};
+    for kernel in lane_kernels() {
+        let size = kernel.sizes[0];
+        for lane in [Lane::Deterministic, Lane::Simd] {
+            for _ in 0..WARMUP_RUNS {
+                (kernel.run)(lane, size);
+            }
+            let before = allocations();
+            for _ in 0..STEADY_RUNS {
+                (kernel.run)(lane, size);
+            }
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "lane kernel {} ({lane}, size {size}) performed {} steady-state \
+                 global allocation(s)",
+                kernel.name,
                 after - before
             );
         }
