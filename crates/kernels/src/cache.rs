@@ -411,6 +411,31 @@ pub fn stencil_reference(config: &StencilConfig) -> Arc<Vec<f64>> {
     )
 }
 
+/// A Jacobi reference solve depends on the grid side and the iteration cap
+/// (block size and validate flags never change the arithmetic).
+#[derive(PartialEq, Eq, Hash)]
+struct JacobiRefKey {
+    l: usize,
+    iters: usize,
+}
+
+static JACOBI_REF: Memo<JacobiRefKey, crate::jacobi::JacobiSolution> = Memo::new();
+
+/// The shared deterministic-lane CPU reference solve for a Jacobi
+/// configuration: the golden grid, the residual history, and the convergence
+/// point every driver replays.
+pub fn jacobi_reference(
+    config: &crate::jacobi::JacobiConfig,
+) -> Arc<crate::jacobi::JacobiSolution> {
+    JACOBI_REF.get_or_generate(
+        JacobiRefKey {
+            l: config.l,
+            iters: config.iters,
+        },
+        || crate::jacobi::reference_jacobi(config),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

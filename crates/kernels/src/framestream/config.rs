@@ -1,0 +1,107 @@
+//! Streaming-dataset engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional-execution budget: total streamed elements (`n × frames`) above
+/// which the driver falls back to the cost model. 2^24 elements keeps the
+/// default batch (16384 × 64 ≈ 2^20) comfortably functional while bounding
+/// CI time for parameter sweeps.
+pub const MAX_FUNCTIONAL_ELEMENTS: u64 = 1 << 24;
+
+/// Exponential-moving-average blend weight of the incoming frame.
+pub const ALPHA: f64 = 0.25;
+
+/// Exponential-moving-average carry weight of the accumulator. `ALPHA + BETA
+/// = 1`, so the accumulator stays bounded for bounded frame values.
+pub const BETA: f64 = 0.75;
+
+/// Initial accumulator value.
+pub const ACC_INIT: f64 = 0.5;
+
+/// Period of the synthetic frame schedule: frame values repeat every 16
+/// frames, which makes the closed-form expected accumulator cheap while still
+/// exercising a different scale on (almost) every frame.
+pub const FRAME_PERIOD: u64 = 16;
+
+/// The synthetic value filling frame `f`. Constant within a frame — that is
+/// what makes the expected final accumulator a closed-form serial fold — and
+/// bounded in `[0.1, 0.85]`, so the EMA stays well away from overflow or
+/// underflow at any frame count.
+pub fn frame_value(f: u64) -> f64 {
+    0.1 + 0.05 * ((f % FRAME_PERIOD) as f64)
+}
+
+/// Configuration of one streaming-dataset experiment. Like the Jacobi
+/// solver, the engine is FP64-only: the partition-invariance contract is a
+/// property of the arithmetic order, not of the element width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameStreamConfig {
+    /// Elements per frame.
+    pub n: usize,
+    /// Number of frames in the batch.
+    pub frames: usize,
+    /// Whether to execute the stream functionally and validate against the
+    /// closed-form accumulator.
+    pub validate: bool,
+}
+
+impl FrameStreamConfig {
+    /// The standard configuration: functional validation whenever the total
+    /// streamed element count fits the budget.
+    pub fn paper(n: usize, frames: usize) -> Self {
+        FrameStreamConfig {
+            n,
+            frames,
+            validate: (n as u64).saturating_mul(frames as u64) <= MAX_FUNCTIONAL_ELEMENTS,
+        }
+    }
+
+    /// A configuration that always executes functionally; used by tests.
+    pub fn validation(n: usize, frames: usize) -> Self {
+        FrameStreamConfig {
+            n,
+            frames,
+            validate: true,
+        }
+    }
+
+    /// Whether the driver should run the stream functionally.
+    pub fn should_execute(&self) -> bool {
+        self.validate
+            && (self.n as u64).saturating_mul(self.frames as u64) <= MAX_FUNCTIONAL_ELEMENTS
+    }
+
+    /// Total elements streamed across the batch.
+    pub fn streamed_elements(&self) -> u64 {
+        self.n as u64 * self.frames as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_ema_weights_form_a_convex_combination() {
+        assert_eq!(ALPHA + BETA, 1.0);
+        assert_eq!(ACC_INIT, 0.5);
+    }
+
+    #[test]
+    fn frame_values_are_bounded_and_periodic() {
+        for f in 0..64 {
+            let v = frame_value(f);
+            assert!((0.1..=0.85).contains(&v));
+            assert_eq!(v, frame_value(f + FRAME_PERIOD));
+        }
+    }
+
+    #[test]
+    fn paper_configs_gate_on_the_streamed_element_budget() {
+        let default = FrameStreamConfig::paper(16_384, 64);
+        assert!(default.should_execute());
+        assert_eq!(default.streamed_elements(), 1 << 20);
+        let huge = FrameStreamConfig::paper(1 << 20, 1 << 10);
+        assert!(!huge.should_execute());
+    }
+}

@@ -1,0 +1,71 @@
+//! Analytic launch cost of a full frame-stream batch.
+
+use super::config::FrameStreamConfig;
+use gpu_sim::stats::{AccessPattern, FlopCounts};
+use gpu_sim::KernelCost;
+use gpu_spec::Precision;
+use hpc_metrics::framestream_traffic_bytes;
+use vendor_models::heuristics;
+
+/// Builds the aggregate cost of streaming `frames` frames of `n` elements
+/// through the EMA accumulator. Each frame reads the accumulator and the
+/// frame buffer once and writes the accumulator once (Triad-shaped traffic,
+/// Eq. 2 with three arrays); each element folds with one multiplication and
+/// one FMA.
+pub fn framestream_cost(config: &FrameStreamConfig) -> KernelCost {
+    let elem = Precision::Fp64.size_of() as u64;
+    let n = config.n as u64;
+    let frames = config.frames as u64;
+    let launch = heuristics::stream_launch(n);
+
+    let total = framestream_traffic_bytes(n, frames);
+    let write = frames * n * elem;
+    let fetch = total - write;
+
+    KernelCost::builder(
+        "framestream",
+        Precision::Fp64,
+        launch,
+        AccessPattern::Stream,
+    )
+    .dram_traffic(fetch, write)
+    .flops(FlopCounts {
+        muls: frames * n, // acc × BETA
+        fmas: frames * n, // + ALPHA × frame
+        ..Default::default()
+    })
+    .loads_stores_per_thread(2.0, 1.0)
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_matches_the_metric_helper_and_scales_with_frames() {
+        let one = framestream_cost(&FrameStreamConfig::paper(16_384, 1));
+        assert_eq!(one.total_bytes(), framestream_traffic_bytes(16_384, 1));
+        assert_eq!(one.total_bytes(), 16_384 * 3 * 8);
+        let many = framestream_cost(&FrameStreamConfig::paper(16_384, 64));
+        assert_eq!(many.total_bytes(), 64 * one.total_bytes());
+        assert_eq!(many.flops.total(), 64 * one.flops.total());
+    }
+
+    #[test]
+    fn launch_covers_one_frame() {
+        let cost = framestream_cost(&FrameStreamConfig::paper(16_384, 64));
+        assert!(cost.launch.total_threads() >= 16_384);
+        assert_eq!(cost.loads_per_thread, 2.0);
+    }
+
+    #[test]
+    fn stream_stays_memory_bound() {
+        let cost = framestream_cost(&FrameStreamConfig::paper(1 << 16, 256));
+        assert!(
+            cost.arithmetic_intensity_dram() < 1.0,
+            "frame streaming must sit on the bandwidth roof, ai = {}",
+            cost.arithmetic_intensity_dram()
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Analytic launch cost of a full Jacobi solve.
+
+use super::config::JacobiConfig;
+use gpu_sim::stats::{AccessPattern, FlopCounts};
+use gpu_sim::KernelCost;
+use gpu_spec::Precision;
+use hpc_metrics::jacobi_traffic_bytes;
+use vendor_models::heuristics;
+
+/// Builds the aggregate cost of a Jacobi solve that runs `iters` sweeps.
+///
+/// Each sweep fetches the full `L³` grid once and writes it once (interior
+/// update plus boundary carry in the ping-pong buffer); the per-iteration
+/// convergence-norm reduction re-reads the `(L−2)³` previous interior values.
+/// FLOPs per interior cell per sweep: 5 additions and 1 multiplication for
+/// the six-neighbour average, plus a subtraction and a square-accumulate FMA
+/// in the norm.
+pub fn jacobi_cost(config: &JacobiConfig, iters: usize) -> KernelCost {
+    let elem = Precision::Fp64.size_of() as u64;
+    let cells = config.cells();
+    let interior = config.interior_cells();
+    let iters = iters as u64;
+    let launch = heuristics::stencil_launch(config.l as u32, config.block_x);
+
+    let total = jacobi_traffic_bytes(config.l as u64, iters);
+    let write = iters * cells * elem;
+    let fetch = total - write;
+    let l1_bytes = iters * interior * 9 * elem; // 6 loads + 1 store + 2 norm reads
+    let l2_bytes = iters * interior * 4 * elem;
+
+    KernelCost::builder("jacobi", Precision::Fp64, launch, AccessPattern::Stencil3D)
+        .dram_traffic(fetch, write)
+        .l1_bytes(l1_bytes)
+        .l2_bytes(l2_bytes)
+        .flops(FlopCounts {
+            adds: iters * interior * 6, // 5 sweep adds + 1 norm subtraction
+            muls: iters * interior,     // × 1/6
+            fmas: iters * interior,     // norm square-accumulate
+            ..Default::default()
+        })
+        .loads_stores_per_thread(8.0, 1.0)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_matches_the_metric_helper_and_scales_with_iterations() {
+        let config = JacobiConfig::paper(16, 400);
+        let one = jacobi_cost(&config, 1);
+        assert_eq!(one.total_bytes(), jacobi_traffic_bytes(16, 1));
+        let many = jacobi_cost(&config, 300);
+        assert_eq!(many.total_bytes(), 300 * one.total_bytes());
+        assert_eq!(many.flops.total(), 300 * one.flops.total());
+    }
+
+    #[test]
+    fn launch_covers_the_grid_once_per_sweep() {
+        let config = JacobiConfig::paper(32, 400);
+        let cost = jacobi_cost(&config, 100);
+        assert_eq!(cost.launch.total_threads(), 32u64.pow(3));
+        assert_eq!(cost.loads_per_thread, 8.0);
+    }
+
+    #[test]
+    fn solver_stays_memory_bound() {
+        let cost = jacobi_cost(&JacobiConfig::paper(64, 1000), 1000);
+        assert!(
+            cost.arithmetic_intensity_dram() < 1.0,
+            "Jacobi must sit on the bandwidth roof, ai = {}",
+            cost.arithmetic_intensity_dram()
+        );
+    }
+}

@@ -1,4 +1,5 @@
-//! The four science proxy kernels evaluated in the paper.
+//! The science proxy kernels evaluated in the paper, plus the composite
+//! patterns of DESIGN.md §15 that combine them.
 //!
 //! | Module | Workload | Character | Figure of merit |
 //! |---|---|---|---|
@@ -6,6 +7,8 @@
 //! | [`babelstream`] | BabelStream Copy/Mul/Add/Triad/Dot | memory-bandwidth bound | bandwidth (Eq. 2) |
 //! | [`minibude`] | miniBUDE `fasten` docking kernel | compute bound | GFLOP/s (Eq. 3) |
 //! | [`hartree_fock`] | Hartree–Fock electron repulsion | compute bound + atomics | kernel wall-clock |
+//! | [`jacobi`] | iterative Jacobi solver (stencil + convergence norm) | memory bound, multi-pass | effective bandwidth (§15) |
+//! | [`framestream`] | streaming-dataset EMA engine | memory bound, batch-streaming | effective bandwidth (§15) |
 //!
 //! Each workload module provides:
 //!
@@ -28,7 +31,9 @@
 pub mod babelstream;
 pub mod cache;
 pub mod common;
+pub mod framestream;
 pub mod hartree_fock;
+pub mod jacobi;
 pub mod minibude;
 pub mod prelude;
 pub mod real;

@@ -32,6 +32,8 @@
 //! | `babelstream_dot` | 1e-12 | reassociated `f64` sum (4 accumulators per [`rayon::REDUCE_CHUNK`] chunk) |
 //! | `fock_eri` | 1e-12 | reassociated `f64` sum of quartet ERIs |
 //! | `minibude_pose` | 2e-3 | reassociated `f32` sum over protein atoms (the driver's own tolerance) |
+//! | `jacobi` | 1e-12 | bitwise-identical sweeps; the per-iteration convergence norm is a reassociated `f64` sum |
+//! | `framestream` | exact (bitwise) | element-wise EMA fold, no reassociation possible |
 //!
 //! All scratch comes from `gpu_sim::pool`, so steady-state launches with the
 //! SIMD lane active stay at zero global allocations
@@ -235,6 +237,10 @@ pub const KERNEL_STENCIL7: &str = "stencil7";
 pub const KERNEL_MINIBUDE_POSE: &str = "minibude_pose";
 /// Crossover-table key of the Fock-matrix / ERI partial sums.
 pub const KERNEL_FOCK_ERI: &str = "fock_eri";
+/// Crossover-table key of the Jacobi sweep + convergence-norm iteration.
+pub const KERNEL_JACOBI: &str = "jacobi";
+/// Crossover-table key of the frame-stream EMA accumulation.
+pub const KERNEL_FRAMESTREAM: &str = "framestream";
 
 // ---------------------------------------------------------------------------
 // Crossover table
@@ -794,6 +800,81 @@ pub fn stencil7_apply_scalar<T: Real>(
 }
 
 // ---------------------------------------------------------------------------
+// Jacobi sweep (element-wise expression unchanged: bitwise-exact)
+// ---------------------------------------------------------------------------
+
+/// One interior cell of the six-neighbour Jacobi average — the exact
+/// expression (and operation order) of the CPU reference and the device
+/// kernels: pairwise neighbour sums, then `× 1/6`.
+#[inline]
+fn jacobi_point(u: &[f64], idx: usize, l: usize) -> f64 {
+    (((u[idx - l * l] + u[idx + l * l]) + (u[idx - l] + u[idx + l])) + (u[idx - 1] + u[idx + 1]))
+        * crate::jacobi::SIXTH
+}
+
+/// Applies one Jacobi sweep to every interior cell, the innermost (`k`) loop
+/// unrolled by 4. Per-element expressions are unchanged, so the output is
+/// bitwise-identical to [`jacobi_sweep_scalar`].
+pub fn jacobi_sweep(out: &mut [f64], u: &[f64], l: usize) {
+    for i in 1..l - 1 {
+        for j in 1..l - 1 {
+            let row = (i * l + j) * l;
+            let mut k = 1;
+            while k + 4 < l {
+                out[row + k] = jacobi_point(u, row + k, l);
+                out[row + k + 1] = jacobi_point(u, row + k + 1, l);
+                out[row + k + 2] = jacobi_point(u, row + k + 2, l);
+                out[row + k + 3] = jacobi_point(u, row + k + 3, l);
+                k += 4;
+            }
+            while k < l - 1 {
+                out[row + k] = jacobi_point(u, row + k, l);
+                k += 1;
+            }
+        }
+    }
+}
+
+/// The scalar deterministic counterpart of [`jacobi_sweep`] (the lane the
+/// crossover bench times against).
+pub fn jacobi_sweep_scalar(out: &mut [f64], u: &[f64], l: usize) {
+    for i in 1..l - 1 {
+        for j in 1..l - 1 {
+            let row = (i * l + j) * l;
+            for k in 1..l - 1 {
+                out[row + k] = jacobi_point(u, row + k, l);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame-stream EMA fold (element-wise: bitwise-exact)
+// ---------------------------------------------------------------------------
+
+/// Folds one constant-valued frame into an accumulator chunk,
+/// `acc ← acc·beta + alpha·value`, unrolled by 4. Element chains are
+/// independent, so the unroll cannot reassociate anything: the output is
+/// bitwise-identical to the scalar loop.
+pub fn frame_accumulate(acc: &mut [f64], value: f64, alpha: f64, beta: f64) {
+    let n = acc.len();
+    let av = alpha * value;
+    let step = |x: f64| x * beta + av;
+    let mut i = 0;
+    while i + 4 <= n {
+        acc[i] = step(acc[i]);
+        acc[i + 1] = step(acc[i + 1]);
+        acc[i + 2] = step(acc[i + 2]);
+        acc[i + 3] = step(acc[i + 3]);
+        i += 4;
+    }
+    while i < n {
+        acc[i] = step(acc[i]);
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Unrolled verification scans (max-reductions: bitwise-exact results)
 // ---------------------------------------------------------------------------
 
@@ -954,7 +1035,7 @@ pub struct LaneKernel {
 /// Every lane kernel, in crossover-table presentation order.
 pub fn lane_kernels() -> &'static [LaneKernel] {
     const STREAM_SIZES: &[u64] = &[1 << 12, 1 << 16, 1 << 20];
-    const KERNELS: [LaneKernel; 9] = [
+    const KERNELS: [LaneKernel; 11] = [
         LaneKernel {
             name: KERNEL_COPY,
             sizes: STREAM_SIZES,
@@ -1008,6 +1089,18 @@ pub fn lane_kernels() -> &'static [LaneKernel] {
             sizes: &[8, 16, 24],
             tolerance: 1e-12,
             run: run_fock,
+        },
+        LaneKernel {
+            name: KERNEL_JACOBI,
+            sizes: &[8, 12, 16],
+            tolerance: 1e-12,
+            run: run_jacobi,
+        },
+        LaneKernel {
+            name: KERNEL_FRAMESTREAM,
+            sizes: &[1 << 12, 1 << 14, 1 << 16],
+            tolerance: 0.0,
+            run: run_framestream,
         },
     ];
     &KERNELS
@@ -1179,6 +1272,23 @@ fn run_fock(lane: Lane, size: u64) -> f64 {
             })
             .sum_unrolled::<f64>(),
     }
+}
+
+fn run_jacobi(lane: Lane, size: u64) -> f64 {
+    let config = crate::jacobi::JacobiConfig::validation(size as usize, 400);
+    let solution = crate::jacobi::solve_host(&config, lane);
+    // Checksum couples the control flow (how many sweeps the convergence
+    // norm demanded) with the final residual: a lane divergence that changed
+    // either is caught far outside the 1e-12 tolerance.
+    solution.iters_run as f64 + solution.residuals[solution.iters_run - 1]
+}
+
+fn run_framestream(lane: Lane, size: u64) -> f64 {
+    let n = size as usize;
+    let mut acc: PooledVec<f64> = PooledVec::with_capacity(n);
+    acc.resize(n, crate::framestream::ACC_INIT);
+    crate::framestream::accumulate_frames(acc.as_mut_slice(), 0..32, lane);
+    checksum(&acc)
 }
 
 #[cfg(test)]

@@ -17,6 +17,8 @@
 //! | `minibude` | [`crate::minibude`] | `gflops` (Eq. 3) | `ppwi` |
 //! | `hartree-fock` | [`crate::hartree_fock`] | `millis` | `atoms` |
 //! | `hartree-fock-sampled` | [`crate::hartree_fock`] (sampled) | `estimated_survivors` | `atoms` |
+//! | `jacobi` | [`crate::jacobi`] | `bandwidth_gbs` (§15) | `l` |
+//! | `framestream` | [`crate::framestream`] | `bandwidth_gbs` (§15) | `n` |
 
 use crate::common::{Verification, WorkloadRun};
 use gpu_sim::{istr, istr_fmt, IStr, PooledVec, SimError};
@@ -374,14 +376,17 @@ pub fn paper_platform_pairs() -> &'static [Platform; 4] {
     })
 }
 
-/// Every registered workload, in presentation order.
-pub fn all() -> [&'static dyn Workload; 5] {
+/// Every registered workload, in presentation order (the composite patterns
+/// of §15 follow the paper's four proxies).
+pub fn all() -> [&'static dyn Workload; 7] {
     [
         &crate::stencil7::workload::StencilWorkload,
         &crate::babelstream::workload::BabelStreamWorkload,
         &crate::minibude::workload::MiniBudeWorkload,
         &crate::hartree_fock::workload::HartreeFockWorkload,
         &crate::hartree_fock::workload::HartreeFockSampledWorkload,
+        &crate::jacobi::workload::JacobiWorkload,
+        &crate::framestream::workload::FrameStreamWorkload,
     ]
 }
 

@@ -3,9 +3,12 @@
 
 use gpu_spec::Precision;
 use proptest::prelude::*;
+use science_kernels::framestream::{accumulate_frames, ACC_INIT};
 use science_kernels::hartree_fock::{pair_count, pair_decode, pair_encode, surviving_quartets};
+use science_kernels::jacobi::{solve_host, JacobiConfig};
 use science_kernels::minibude::{Atom, Deck, ForceFieldParam, MiniBudeConfig};
 use science_kernels::stencil7::{reference_laplacian, StencilConfig};
+use science_kernels::Lane;
 
 /// Brute-force counterpart of the two-pointer screening count.
 fn brute_force_survivors(schwarz: &[f64], tol: f64) -> u64 {
@@ -78,6 +81,52 @@ proptest! {
         let forward = pair_energy(0.0, 0.0, 0.0, ff, x, y, z, ff);
         let backward = pair_energy(x, y, z, ff, 0.0, 0.0, 0.0, ff);
         prop_assert!((forward - backward).abs() <= 1e-4 * forward.abs().max(1.0));
+    }
+
+    /// The Jacobi residual is monotonically non-increasing for arbitrary grid
+    /// sides, iteration caps and lanes: the iteration matrix of the
+    /// constant-diagonal Laplacian is symmetric, so the iterate-difference
+    /// norm contracts every sweep. Both lanes run on the shim's worker pool,
+    /// whose fixed-chunk reductions are bitwise-stable at any thread count.
+    fn jacobi_residual_is_monotone_non_increasing(
+        l in 4usize..13,
+        iters in 1usize..50,
+        simd_lane in 0u8..2,
+    ) {
+        let lane = if simd_lane == 1 { Lane::Simd } else { Lane::Deterministic };
+        let solution = solve_host(&JacobiConfig::validation(l, iters), lane);
+        prop_assert_eq!(solution.iters_run, solution.residuals.len());
+        for pair in solution.residuals.as_slice().windows(2) {
+            prop_assert!(
+                pair[1] <= pair[0],
+                "residual rose on lane {}: {} -> {}", lane, pair[0], pair[1]
+            );
+        }
+    }
+
+    /// Frame-stream accumulation is bitwise-identical between one big batch
+    /// and any partition of the frame range into sub-batches, on either lane:
+    /// the per-element EMA chain is strictly sequential in the frame index,
+    /// so batch boundaries cannot reassociate anything.
+    fn framestream_accumulation_is_partition_invariant(
+        n in 1usize..3000,
+        frames in 1usize..48,
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..6),
+        simd_lane in 0u8..2,
+    ) {
+        let lane = if simd_lane == 1 { Lane::Simd } else { Lane::Deterministic };
+        let mut whole = vec![ACC_INIT; n];
+        accumulate_frames(&mut whole, 0..frames, lane);
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| (c * frames as f64) as usize).collect();
+        bounds.push(0);
+        bounds.push(frames);
+        bounds.sort_unstable();
+        let mut split = vec![ACC_INIT; n];
+        for pair in bounds.windows(2) {
+            accumulate_frames(&mut split, pair[0]..pair[1], lane);
+        }
+        prop_assert_eq!(&whole, &split);
     }
 
     /// Deck generation honours arbitrary (sane) configuration sizes.

@@ -1,0 +1,97 @@
+//! Figures of merit for the composite compute patterns (DESIGN.md §15):
+//! the iterative Jacobi solver and the streaming-dataset engine.
+//!
+//! Both are memory-bandwidth bound, so both report an effective bandwidth in
+//! the style of Eqs. (1) and (2):
+//!
+//! ```text
+//! jacobi:      bytes = iters · (2·L³ + (L−2)³) · sizeof(f64)
+//! framestream: bytes = frames · 3·n · sizeof(f64)
+//! bandwidth   = bytes / solve_time
+//! ```
+//!
+//! The Jacobi term charges, per sweep, one fetch of the full `L³` grid, one
+//! write of the full grid (interior update plus boundary carry in the
+//! ping-pong buffer), and one re-read of the `(L−2)³` previous interior values
+//! by the convergence-norm reduction. The framestream term is the nstream-like
+//! three-array pattern — read the accumulator, read the frame, write the
+//! accumulator — once per element per frame.
+
+/// Element size of both composite workloads (they run in FP64 only).
+const ELEM: u64 = 8;
+
+/// Total effective DRAM traffic of a Jacobi solve: `iters` sweeps over an
+/// `l`³ grid, each followed by an interior convergence-norm reduction.
+pub fn jacobi_traffic_bytes(l: u64, iters: u64) -> u64 {
+    let cells = l * l * l;
+    let interior = (l - 2).pow(3);
+    iters * (2 * cells + interior) * ELEM
+}
+
+/// Effective bandwidth in GB/s (decimal) of a Jacobi solve that ran `iters`
+/// sweeps in `solve_time_s` seconds.
+pub fn jacobi_bandwidth_gbs(l: u64, iters: u64, solve_time_s: f64) -> f64 {
+    assert!(solve_time_s > 0.0, "solve time must be positive");
+    jacobi_traffic_bytes(l, iters) as f64 / solve_time_s / 1e9
+}
+
+/// Total effective DRAM traffic of a framestream pass: `frames` frames of `n`
+/// elements, each accumulated with the three-array read/read/write pattern.
+pub fn framestream_traffic_bytes(n: u64, frames: u64) -> u64 {
+    frames * 3 * n * ELEM
+}
+
+/// Effective bandwidth in GB/s (decimal) of a framestream pass that consumed
+/// `frames` frames of `n` elements in `stream_time_s` seconds.
+pub fn framestream_bandwidth_gbs(n: u64, frames: u64, stream_time_s: f64) -> f64 {
+    assert!(stream_time_s > 0.0, "stream time must be positive");
+    framestream_traffic_bytes(n, frames) as f64 / stream_time_s / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_traffic_counts_sweep_and_norm_bytes() {
+        // L = 16, one iteration: fetch 16³, write 16³, re-read 14³ interior.
+        assert_eq!(
+            jacobi_traffic_bytes(16, 1),
+            (2 * 16u64.pow(3) + 14u64.pow(3)) * 8
+        );
+        // Traffic is linear in the iteration count.
+        assert_eq!(
+            jacobi_traffic_bytes(16, 10),
+            10 * jacobi_traffic_bytes(16, 1)
+        );
+    }
+
+    #[test]
+    fn framestream_traffic_is_three_arrays_per_frame() {
+        assert_eq!(
+            framestream_traffic_bytes(1 << 14, 64),
+            64 * 3 * (1 << 14) * 8
+        );
+        assert_eq!(
+            framestream_traffic_bytes(1 << 14, 64),
+            64 * framestream_traffic_bytes(1 << 14, 1)
+        );
+    }
+
+    #[test]
+    fn bandwidths_are_bytes_over_time() {
+        let time = 1e-3;
+        let jac = jacobi_bandwidth_gbs(16, 100, time);
+        assert!((jac - jacobi_traffic_bytes(16, 100) as f64 / time / 1e9).abs() < 1e-9);
+        let fs = framestream_bandwidth_gbs(1 << 14, 64, time);
+        assert!((fs - framestream_traffic_bytes(1 << 14, 64) as f64 / time / 1e9).abs() < 1e-9);
+        // Halving the time doubles the bandwidth.
+        assert!((framestream_bandwidth_gbs(1 << 14, 64, time / 2.0) / fs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_solve_time_panics() {
+        jacobi_bandwidth_gbs(16, 100, 0.0);
+    }
+}

@@ -6,6 +6,8 @@
 //! * BabelStream — per-operation bandwidth, Eq. (2) ([`babelstream`]),
 //! * miniBUDE — GFLOP/s, Eq. (3) ([`minibude`]),
 //! * Hartree–Fock — raw kernel wall-clock time (no transformation),
+//! * Jacobi / framestream — composite-pattern effective bandwidth
+//!   ([`composite`], DESIGN.md §15),
 //!
 //! and Section 4.1 aggregates them into the application-efficiency
 //! performance-portability metric Φ, Eq. (4) ([`portability`]).
@@ -15,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod babelstream;
+pub mod composite;
 pub mod minibude;
 pub mod output;
 pub mod portability;
@@ -23,6 +26,10 @@ pub mod stats;
 pub mod stencil;
 
 pub use babelstream::{babelstream_bandwidth_gbs, BabelStreamOp};
+pub use composite::{
+    framestream_bandwidth_gbs, framestream_traffic_bytes, jacobi_bandwidth_gbs,
+    jacobi_traffic_bytes,
+};
 pub use minibude::{minibude_gflops, minibude_total_ops, MiniBudeSizes};
 pub use portability::{efficiency, PortabilityEntry, PortabilityTable};
 pub use roofline::{Roofline, RooflinePoint};

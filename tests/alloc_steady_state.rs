@@ -72,8 +72,9 @@ fn steady_state_launches_do_not_allocate() {
 
     let engines = workload::all();
     assert!(
-        engines.len() >= 5,
-        "expected the five registered workloads, found {}",
+        engines.len() >= 7,
+        "expected the seven registered workloads (four proxies, the sampled \
+         variant, and the two §15 composites), found {}",
         engines.len()
     );
 

@@ -59,6 +59,8 @@ fn list_shows_every_workload_with_parameters_and_defaults() {
         "minibude",
         "hartree-fock",
         "hartree-fock-sampled",
+        "jacobi",
+        "framestream",
     ] {
         assert!(
             text.lines()
@@ -74,6 +76,8 @@ fn list_shows_every_workload_with_parameters_and_defaults() {
         "ppwi=8",
         "atoms=1024",
         "samples=4096",
+        "iters=400",
+        "frames=64",
     ] {
         assert!(text.contains(param), "list output missing {param}:\n{text}");
     }
@@ -137,6 +141,73 @@ fn sweep_runs_custom_sizes_and_emits_csv_and_json() {
     let csv = std::fs::read_to_string(&csv_path).unwrap();
     assert!(csv.contains("precision=fp32"), "{csv}");
 
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn composite_workloads_run_sweep_and_preset_through_the_cli() {
+    let out = scratch("composite");
+    // Jacobi: a sweep with an iters override runs all four platforms per
+    // point and validates functionally at these grid sides.
+    let jacobi = mojo_hpc(&[
+        "sweep",
+        "jacobi",
+        "--sizes",
+        "8,12",
+        "iters=150",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(jacobi.status.code(), Some(0), "{}", stderr(&jacobi));
+    let text = stdout(&jacobi);
+    assert!(text.contains("=== sweep_jacobi"), "{text}");
+    let csv = std::fs::read_to_string(out.join("sweep_jacobi_sweep.csv")).unwrap();
+    assert_eq!(csv.lines().count(), 1 + 2 * 4, "2 sizes x 4 platforms");
+    assert!(csv.contains("iters=150"), "{csv}");
+    assert!(csv.contains("passed(max_abs_err=0.000e0)"), "{csv}");
+
+    // Framestream: preset round trip reproduces the run byte-for-byte.
+    let preset = out.join("framestream.json");
+    let save = mojo_hpc(&[
+        "sweep",
+        "framestream",
+        "--sizes",
+        "4096,8192",
+        "frames=16",
+        "--preset-out",
+        preset.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(save.status.code(), Some(0), "{}", stderr(&save));
+    let preset_text = std::fs::read_to_string(&preset).unwrap();
+    assert!(
+        preset_text.contains("\"workload\": \"framestream\""),
+        "{preset_text}"
+    );
+    assert!(preset_text.contains("frames=16"), "{preset_text}");
+    let replay = mojo_hpc(&["sweep", "--preset", preset.to_str().unwrap()]);
+    assert_eq!(replay.status.code(), Some(0), "{}", stderr(&replay));
+    assert_eq!(stdout(&replay), stdout(&save));
+
+    // Out-of-range parameters are usage errors (exit 2), not runs.
+    for args in [
+        ["sweep", "jacobi", "--sizes", "2"],
+        ["sweep", "jacobi", "--sizes", "5000"],
+        ["sweep", "framestream", "--sizes", "1"],
+    ] {
+        let output = mojo_hpc(&args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "expected a usage error for {args:?}: {}",
+            stderr(&output)
+        );
+    }
+    let bad_iters = mojo_hpc(&["sweep", "jacobi", "--sizes", "8", "iters=0"]);
+    assert_eq!(bad_iters.status.code(), Some(2));
+    let bad_frames = mojo_hpc(&["sweep", "framestream", "--sizes", "4096", "frames=100000"]);
+    assert_eq!(bad_frames.status.code(), Some(2));
     std::fs::remove_dir_all(&out).ok();
 }
 

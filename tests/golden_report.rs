@@ -180,6 +180,68 @@ fn run_all_json_is_byte_identical_across_thread_counts_and_matches_goldens() {
     std::fs::remove_dir_all(&out_serial).ok();
 }
 
+/// The committed sweep goldens for the §15 composite workloads: the exact
+/// CLI invocation that regenerates each fixture pair.
+const SWEEP_GOLDENS: [(&str, &[&str]); 2] = [
+    (
+        "sweep_jacobi",
+        &["sweep", "jacobi", "--sizes", "8,12,16", "iters=200"],
+    ),
+    (
+        "sweep_framestream",
+        &["sweep", "framestream", "--sizes", "4096,16384", "frames=32"],
+    ),
+];
+
+/// Runs one sweep invocation in both formats and asserts the CSV and JSON
+/// artefacts are byte-identical to `tests/golden/sweep/`.
+fn assert_sweep_matches_golden(tag: &str, id: &str, args: &[&str], threads: Option<&str>) {
+    let golden = golden_dir().join("sweep");
+    let out = scratch_dir(tag);
+    for format in ["csv", "json"] {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_mojo-hpc"));
+        command
+            .args(args)
+            .args(["--format", format, "--out"])
+            .arg(&out);
+        match threads {
+            Some(n) => command.env("RAYON_NUM_THREADS", n),
+            None => command.env_remove("RAYON_NUM_THREADS"),
+        };
+        let output = command.output().expect("run mojo-hpc sweep");
+        assert!(
+            output.status.success(),
+            "{id} sweep failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    for name in [format!("{id}_sweep.csv"), format!("{id}.json")] {
+        let expected = std::fs::read(golden.join(&name)).expect("read sweep golden");
+        let actual = std::fs::read(out.join(&name)).expect("read generated sweep file");
+        assert!(
+            actual == expected,
+            "{name} differs from the committed golden (regenerate \
+             tests/golden/sweep/ with the invocation in SWEEP_GOLDENS if the \
+             change is intended)"
+        );
+    }
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn composite_sweeps_match_the_committed_goldens_at_default_threads() {
+    for (id, args) in SWEEP_GOLDENS {
+        assert_sweep_matches_golden(&format!("{id}-default"), id, args, None);
+    }
+}
+
+#[test]
+fn composite_sweeps_are_byte_identical_at_one_thread() {
+    for (id, args) in SWEEP_GOLDENS {
+        assert_sweep_matches_golden(&format!("{id}-serial"), id, args, Some("1"));
+    }
+}
+
 #[test]
 fn the_binary_diff_subcommand_agrees_the_goldens_match() {
     let out = scratch_dir("diff");

@@ -99,6 +99,81 @@ fn workloads_run_identically_on_the_deterministic_lane_and_verify_on_the_rest() 
 }
 
 #[test]
+fn composite_workloads_hold_their_documented_lane_tolerances() {
+    use science_kernels::framestream::{accumulate_frames, ACC_INIT};
+    use science_kernels::jacobi::{solve_host, JacobiConfig};
+
+    // Jacobi: the sweeps are bitwise-identical on both lanes (same
+    // expression, only unrolled), the convergence decision must not move,
+    // and each iteration's reassociated norm stays within 1e-12 relative.
+    let config = JacobiConfig::validation(12, 200);
+    let det = solve_host(&config, Lane::Deterministic);
+    let simd = solve_host(&config, Lane::Simd);
+    assert_eq!(
+        det.iters_run, simd.iters_run,
+        "jacobi: the SIMD lane changed the convergence point"
+    );
+    assert_eq!(
+        det.grid.as_slice(),
+        simd.grid.as_slice(),
+        "jacobi: lanes must produce bitwise-identical grids"
+    );
+    for (i, (a, b)) in det.residuals.iter().zip(simd.residuals.iter()).enumerate() {
+        let rel = (a - b).abs() / a.abs().max(1e-300);
+        assert!(
+            rel <= 1e-12,
+            "jacobi: residual {i} diverged between lanes by relative {rel:.3e}"
+        );
+    }
+
+    // Framestream: the element-wise EMA fold cannot reassociate, so the
+    // lanes are bitwise-identical (documented 0.0 tolerance).
+    let mut det_acc = vec![ACC_INIT; 10_000];
+    let mut simd_acc = vec![ACC_INIT; 10_000];
+    accumulate_frames(&mut det_acc, 0..64, Lane::Deterministic);
+    accumulate_frames(&mut simd_acc, 0..64, Lane::Simd);
+    assert_eq!(
+        det_acc, simd_acc,
+        "framestream: lanes must produce bitwise-identical accumulators"
+    );
+}
+
+#[test]
+fn composite_cli_sweeps_are_byte_identical_across_thread_counts() {
+    for (workload, sizes) in [("jacobi", "8,12"), ("framestream", "4096,16384")] {
+        let base = mojo_hpc(&["sweep", workload, "--sizes", sizes], "1");
+        assert_eq!(base.status.code(), Some(0), "sweep {workload} failed");
+        for threads in ["1", "4"] {
+            let lane = mojo_hpc(
+                &[
+                    "sweep",
+                    workload,
+                    "--sizes",
+                    sizes,
+                    "--lane",
+                    "deterministic",
+                ],
+                threads,
+            );
+            assert_eq!(lane.status.code(), Some(0));
+            assert_eq!(
+                base.stdout, lane.stdout,
+                "{workload}: --lane deterministic at {threads} thread(s) moved bytes"
+            );
+        }
+        for lane in ["simd", "auto"] {
+            let output = mojo_hpc(&["sweep", workload, "--sizes", sizes, "--lane", lane], "2");
+            assert_eq!(
+                output.status.code(),
+                Some(0),
+                "sweep {workload} --lane {lane} failed: {}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+        }
+    }
+}
+
+#[test]
 fn cli_lane_deterministic_is_byte_identical_across_thread_counts() {
     // One bandwidth experiment (fig4: BabelStream, includes the Dot
     // reduction) and one reduction-heavy experiment (table4: Hartree–Fock).

@@ -163,6 +163,55 @@ fn shard_sweep_merges_byte_identically_including_empty_shards() {
 }
 
 #[test]
+fn composite_workload_shard_sweeps_merge_byte_identically() {
+    // The §15 composite engines ride the same shard protocol: a 3-worker
+    // sweep must merge to the exact bytes of the single-process run, stdout
+    // and files alike.
+    for (workload, sizes, extra) in [
+        ("jacobi", "8,12,16", "iters=200"),
+        ("framestream", "4096,8192,16384", "frames=32"),
+    ] {
+        let single_out = scratch(&format!("{workload}-single"));
+        let sharded_out = scratch(&format!("{workload}-sharded"));
+        let single = mojo_hpc(&[
+            "sweep",
+            workload,
+            "--sizes",
+            sizes,
+            extra,
+            "--format",
+            "json",
+            "--out",
+            single_out.to_str().unwrap(),
+        ]);
+        assert_eq!(single.status.code(), Some(0), "{}", stderr(&single));
+        let sharded = mojo_hpc(&[
+            "shard",
+            "sweep",
+            workload,
+            "--sizes",
+            sizes,
+            extra,
+            "--workers",
+            "3",
+            "--format",
+            "json",
+            "--out",
+            sharded_out.to_str().unwrap(),
+        ]);
+        assert_eq!(sharded.status.code(), Some(0), "{}", stderr(&sharded));
+        assert_eq!(
+            stdout(&single),
+            stdout(&sharded),
+            "{workload}: sharded stdout differs from the single-process run"
+        );
+        assert_same_files(&single_out, &sharded_out);
+        std::fs::remove_dir_all(&single_out).ok();
+        std::fs::remove_dir_all(&sharded_out).ok();
+    }
+}
+
+#[test]
 fn single_worker_shard_equals_the_unsharded_command() {
     let single = mojo_hpc(&["sweep", "stencil", "--sizes", "16,20"]);
     let sharded = mojo_hpc(&[
